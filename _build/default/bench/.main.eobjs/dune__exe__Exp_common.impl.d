@@ -1,0 +1,1 @@
+bench/exp_common.ml: Address_assign Array Autonet_analysis Autonet_core Autonet_sim Autonet_topo Graph List Printf Queue Routes Spanning_tree Tables Updown

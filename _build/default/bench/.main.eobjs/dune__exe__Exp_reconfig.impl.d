@@ -1,0 +1,1 @@
+bench/exp_reconfig.ml: Autonet Autonet_analysis Autonet_autopilot Autonet_core Autonet_sim Autonet_topo Exp_common Graph List Printf

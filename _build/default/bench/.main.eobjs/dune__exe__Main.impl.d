@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_dataplane Exp_hosts Exp_reconfig Exp_routing List Micro Printf String Sys

@@ -1,0 +1,62 @@
+(* Shared plumbing for the experiment harness: the pure configuration
+   pipeline, host-port helpers, and formatting shortcuts. *)
+
+open Autonet_core
+module B = Autonet_topo.Builders
+module Report = Autonet_analysis.Report
+module Time = Autonet_sim.Time
+
+type configured = {
+  graph : Graph.t;
+  tree : Spanning_tree.t;
+  updown : Updown.t;
+  routes : Routes.t;
+  assignment : Address_assign.t;
+  specs : Tables.spec list;
+}
+
+let configure ?mode (t : B.t) =
+  let g = t.B.graph in
+  let tree = Spanning_tree.compute g ~member:0 in
+  let updown = Updown.orient g tree in
+  let routes = Routes.compute g tree updown in
+  let assignment =
+    Address_assign.make g
+      (List.map (fun s -> (s, 1)) (Spanning_tree.members tree))
+  in
+  let specs = Tables.build_all ?mode g tree updown routes assignment in
+  { graph = g; tree; updown; routes; assignment; specs }
+
+let host_eps g =
+  List.map (fun (h : Graph.host_attachment) -> (h.switch, h.switch_port))
+    (Graph.hosts g)
+
+let addr_of c (s, p) = Address_assign.address c.assignment s p
+
+let diameter g =
+  let n = Graph.switch_count g in
+  let maxd = ref 0 in
+  for s = 0 to n - 1 do
+    let dist = Array.make n (-1) in
+    let q = Queue.create () in
+    dist.(s) <- 0;
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun (_, _, peer, _) ->
+          if dist.(peer) < 0 then begin
+            dist.(peer) <- dist.(v) + 1;
+            Queue.add peer q
+          end)
+        (Graph.neighbors g v)
+    done;
+    Array.iter (fun d -> if d > !maxd then maxd := d) dist
+  done;
+  !maxd
+
+let ms t = Report.cell_time_ms t
+let us t = Report.cell_time_us t
+
+let section title =
+  Printf.printf "\n################ %s ################\n\n" title

@@ -1,0 +1,131 @@
+(* Bechamel micro-benchmarks for the algorithmic kernels that the
+   reconfiguration's software-time regime is made of: spanning-tree
+   computation, up*/down* orientation, route BFS, forwarding-table
+   synthesis, channel-dependency analysis and topology-report codec.
+   These are the costs the paper's 68000 paid in its table_load_time. *)
+
+open Bechamel
+open Toolkit
+open Autonet_core
+module B = Autonet_topo.Builders
+
+let src = B.src_service_lan ()
+let g = src.B.graph
+let tree = Spanning_tree.compute g ~member:0
+let updown = Updown.orient g tree
+let routes = Routes.compute g tree updown
+
+let assignment =
+  Address_assign.make g
+    (List.map (fun s -> (s, 1)) (Spanning_tree.members tree))
+
+let report =
+  (* The full topology report the root would accumulate. *)
+  List.fold_left
+    (fun acc s ->
+      let used =
+        List.filter_map
+          (fun p ->
+            match Graph.host_at g (s, p) with
+            | Some _ -> Some (p, Topology_report.Host_port)
+            | None -> (
+              match Graph.link_at g (s, p) with
+              | Some l_id -> (
+                match Graph.link g l_id with
+                | Some l ->
+                  let peer, peer_port = Graph.other_end l s in
+                  Some
+                    ( p,
+                      Topology_report.Switch_link
+                        { peer = Graph.uid g peer; peer_port } )
+                | None -> None)
+              | None -> None))
+          (Graph.used_ports g s)
+      in
+      let d =
+        Topology_report.switch_desc ~uid:(Graph.uid g s) ~proposed_number:1
+          ~max_ports:(Graph.max_ports g) used
+      in
+      match acc with
+      | None -> Some (Topology_report.singleton ~max_ports:(Graph.max_ports g) d)
+      | Some r ->
+        Some
+          (Topology_report.merge r
+             (Topology_report.singleton ~max_ports:(Graph.max_ports g) d)))
+    None (Graph.switches g)
+  |> Option.get
+
+let encoded_report =
+  let w = Autonet_net.Wire.Writer.create () in
+  Topology_report.encode w report;
+  Autonet_net.Wire.Writer.contents w
+
+let tests =
+  [ Test.make ~name:"spanning_tree"
+      (Staged.stage (fun () -> Spanning_tree.compute g ~member:0));
+    Test.make ~name:"updown_orient"
+      (Staged.stage (fun () -> Updown.orient g tree));
+    Test.make ~name:"routes_bfs"
+      (Staged.stage (fun () -> Routes.compute g tree updown));
+    Test.make ~name:"tables_one_switch"
+      (Staged.stage (fun () ->
+           Tables.build g tree updown routes assignment 0));
+    Test.make ~name:"tables_all_switches"
+      (Staged.stage (fun () ->
+           Tables.build_all g tree updown routes assignment));
+    Test.make ~name:"deadlock_check"
+      (Staged.stage
+         (let specs = Tables.build_all g tree updown routes assignment in
+          fun () -> Deadlock.check_tables g specs));
+    Test.make ~name:"report_encode"
+      (Staged.stage (fun () ->
+           let w = Autonet_net.Wire.Writer.create () in
+           Topology_report.encode w report));
+    Test.make ~name:"report_decode"
+      (Staged.stage (fun () ->
+           Topology_report.decode
+             (Autonet_net.Wire.Reader.of_string encoded_report)));
+    Test.make ~name:"report_to_graph"
+      (Staged.stage (fun () -> Topology_report.to_graph report)) ]
+
+let run () =
+  Exp_common.section "Micro-benchmarks: reconfiguration kernels (bechamel)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let grouped = Test.make_grouped ~name:"kernels" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let r =
+    Autonet_analysis.Report.create
+      ~title:"per-call cost on the 30-switch SRC topology"
+      ~columns:[ "kernel"; "time per call" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (v :: _) -> v
+        | _ -> nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      let cell =
+        if Float.is_nan ns then "-"
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Autonet_analysis.Report.add_row r [ name; cell ])
+    (List.sort compare !rows);
+  Autonet_analysis.Report.print r;
+  Printf.printf
+    "(these are the software costs behind table_load_time: the paper's 68000\n\
+    \ paid them at roughly 100x a modern core's prices)\n\n"

@@ -1,0 +1,1 @@
+bin/autonet_sim_cli.ml: Arg Autonet Autonet_autopilot Autonet_core Autonet_sim Autonet_topo Cmd Cmdliner Epoch Format Graph Int64 List Option String Term

@@ -1,0 +1,1 @@
+bin/autonet_sim_cli.mli:

@@ -1,0 +1,1 @@
+bin/topo_tool.mli:

@@ -1,0 +1,221 @@
+(* autonet-sim: run a whole simulated Autonet from the command line — boot
+   it, optionally inject faults on a schedule, and report convergence,
+   reconfiguration measurements and (optionally) the merged event log or
+   an SRP probe of a switch.
+
+     dune exec bin/autonet_sim.exe -- boot --topo torus:3,3
+     dune exec bin/autonet_sim.exe -- fail-link --topo src --params naive
+     dune exec bin/autonet_sim.exe -- crash --topo src --switch 7 --log
+     dune exec bin/autonet_sim.exe -- srp --topo torus:3,3 --route 1,2 *)
+
+open Autonet_core
+module B = Autonet_topo.Builders
+module N = Autonet.Network
+module F = Autonet_topo.Faults
+module AP = Autonet_autopilot.Autopilot
+module Messages = Autonet_autopilot.Messages
+module Fabric = Autonet_autopilot.Fabric
+module Params = Autonet_autopilot.Params
+module Time = Autonet_sim.Time
+open Cmdliner
+
+let build_topo spec seed hosts =
+  let rng = Autonet_sim.Rng.create ~seed:(Int64.of_int seed) in
+  let base =
+    match String.split_on_char ':' spec with
+    | [ "src" ] -> B.src_service_lan ()
+    | [ "line"; n ] -> B.line ~n:(int_of_string n) ()
+    | [ "ring"; n ] -> B.ring ~n:(int_of_string n) ()
+    | [ "torus"; rc ] -> (
+      match String.split_on_char ',' rc with
+      | [ r; c ] -> B.torus ~rows:(int_of_string r) ~cols:(int_of_string c) ()
+      | _ -> invalid_arg "torus:ROWS,COLS")
+    | [ "random"; ne ] -> (
+      match String.split_on_char ',' ne with
+      | [ n; e ] ->
+        B.random_connected ~rng ~n:(int_of_string n)
+          ~extra_links:(int_of_string e) ()
+      | _ -> invalid_arg "random:N,EXTRA")
+    | _ -> invalid_arg (spec ^ ": expected src | line:N | ring:N | torus:R,C | random:N,E")
+  in
+  if hosts > 0 then B.attach_hosts base ~per_switch:hosts else base
+
+let make_net spec seed hosts params_name =
+  let params =
+    match Params.preset params_name with
+    | Some p -> p
+    | None -> invalid_arg (params_name ^ ": expected naive | tuned | fast")
+  in
+  let net = N.create ~params ~seed:(Int64.of_int seed) (build_topo spec seed hosts) in
+  N.start net;
+  net
+
+let boot_and_report net =
+  match N.run_until_converged ~timeout:(Time.s 300) net with
+  | Some at ->
+    Format.printf "converged at %a; reference check %b@." Time.pp at
+      (N.verify_against_reference net);
+    true
+  | None ->
+    Format.printf "DID NOT CONVERGE within 300 simulated seconds@.";
+    false
+
+let print_log net t0 =
+  Format.printf "@.merged event log:@.";
+  List.iter
+    (fun (ts, who, msg) ->
+      if ts >= t0 then
+        Format.printf "  [+%a] %s: %s@." Time.pp (Time.sub ts t0) who msg)
+    (N.merged_log net)
+
+let cmd_boot spec seed hosts params_name show_log =
+  let net = make_net spec seed hosts params_name in
+  ignore (boot_and_report net);
+  if show_log then print_log net Time.zero
+
+let measure net trigger show_log =
+  let t0 = N.now net in
+  (match N.measure_reconfiguration ~timeout:(Time.s 300) net ~trigger with
+  | Some m -> Format.printf "%a@." N.pp_measure m
+  | None -> Format.printf "did not reconverge@.");
+  Format.printf "reference check: %b@." (N.verify_against_reference net);
+  if show_log then print_log net t0
+
+let cmd_fail_link spec seed hosts params_name link show_log =
+  let net = make_net spec seed hosts params_name in
+  if boot_and_report net then begin
+    let links = Graph.links (N.graph net) in
+    let l = List.nth links (link mod List.length links) in
+    Format.printf "failing link %d...@." l.Graph.id;
+    measure net
+      (fun net -> N.apply_fault net (F.Link_down l.Graph.id))
+      show_log
+  end
+
+let cmd_crash spec seed hosts params_name switch show_log =
+  let net = make_net spec seed hosts params_name in
+  if boot_and_report net then begin
+    Format.printf "powering off switch %d...@." switch;
+    measure net (fun net -> N.apply_fault net (F.Switch_down switch)) show_log
+  end
+
+let cmd_srp spec seed hosts params_name route =
+  (* Source-routed probe: inject an SRP Get_state at switch 0's control
+     processor and print the reply fetched over the given port route. *)
+  let net = make_net spec seed hosts params_name in
+  if boot_and_report net then begin
+    let ports =
+      if route = "" then []
+      else List.map int_of_string (String.split_on_char ',' route)
+    in
+    let got = ref None in
+    (* Attach a host-less observer: reuse the fabric by sending from the
+       control processor of switch 0 and catching the response in its
+       event log is awkward; instead send the request and scan for the
+       response with a temporary receive hook at switch 0's autopilot via
+       the SRP response terminating there. *)
+    let fabric = N.fabric net in
+    let msg =
+      Messages.Srp_request
+        { route = ports; reply_route = []; request = Messages.Get_state }
+    in
+    (* Send out the first hop from switch 0. *)
+    (match ports with
+    | [] -> Format.printf "empty route: probing switch 0 itself@."
+    | p :: _ -> Format.printf "probing via ports [%s] starting out port %d@." route p);
+    ignore got;
+    (match ports with
+    | [] -> ()
+    | first :: rest ->
+      Fabric.switch_send fabric ~from:0 ~port:first
+        (Messages.to_packet
+           (Messages.Srp_request
+              { route = rest; reply_route = []; request = Messages.Get_state }));
+      ignore msg);
+    N.run_for net (Time.ms 100);
+    (* The response terminated at switch 0's control processor; its event
+       log records it. *)
+    let log = AP.event_log (N.autopilot net 0) in
+    List.iter
+      (fun e ->
+        Format.printf "  s0 log: %s@." e.Autonet_autopilot.Event_log.message)
+      (let es = Autonet_autopilot.Event_log.entries log in
+       let n = List.length es in
+       List.filteri (fun i _ -> i >= n - 5) es);
+    (* Also print the state of the probed switch directly. *)
+    let target =
+      List.fold_left
+        (fun at p ->
+          match Graph.link_at (N.graph net) (at, p) with
+          | Some l_id -> (
+            match Graph.link (N.graph net) l_id with
+            | Some l -> fst (Graph.other_end l at)
+            | None -> at)
+          | None -> at)
+        0 ports
+    in
+    let ap = N.autopilot net target in
+    Format.printf "switch %d: %a, configured %b, number %d@." target
+      Epoch.pp (AP.epoch ap) (AP.configured ap)
+      (Option.value ~default:(-1) (AP.switch_number ap))
+  end
+
+(* --- Cmdliner --- *)
+
+let topo_arg =
+  Arg.(
+    value & opt string "torus:3,3"
+    & info [ "topo"; "t" ] ~docv:"SPEC"
+        ~doc:"Topology: src | line:N | ring:N | torus:R,C | random:N,E.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let hosts_arg =
+  Arg.(value & opt int 2 & info [ "hosts" ] ~doc:"Host ports per switch.")
+
+let params_arg =
+  Arg.(
+    value & opt string "tuned"
+    & info [ "params"; "p" ] ~doc:"Autopilot preset: naive | tuned | fast.")
+
+let log_arg =
+  Arg.(value & flag & info [ "log" ] ~doc:"Print the merged event log.")
+
+let () =
+  let info =
+    Cmd.info "autonet-sim" ~doc:"Run simulated Autonets from the command line."
+  in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ Cmd.v (Cmd.info "boot" ~doc:"Boot a network to convergence.")
+              Term.(
+                const cmd_boot $ topo_arg $ seed_arg $ hosts_arg $ params_arg
+                $ log_arg);
+            Cmd.v
+              (Cmd.info "fail-link"
+                 ~doc:"Boot, fail a link, measure the reconfiguration.")
+              Term.(
+                const cmd_fail_link $ topo_arg $ seed_arg $ hosts_arg
+                $ params_arg
+                $ Arg.(value & opt int 0 & info [ "link" ] ~doc:"Link index.")
+                $ log_arg);
+            Cmd.v
+              (Cmd.info "crash"
+                 ~doc:"Boot, power a switch off, measure the reconfiguration.")
+              Term.(
+                const cmd_crash $ topo_arg $ seed_arg $ hosts_arg $ params_arg
+                $ Arg.(
+                    value & opt int 0 & info [ "switch" ] ~doc:"Switch index.")
+                $ log_arg);
+            Cmd.v
+              (Cmd.info "srp"
+                 ~doc:
+                   "Probe a switch over the source-routed debugging protocol.")
+              Term.(
+                const cmd_srp $ topo_arg $ seed_arg $ hosts_arg $ params_arg
+                $ Arg.(
+                    value & opt string ""
+                    & info [ "route" ] ~docv:"P1,P2,..."
+                        ~doc:"Outbound port at each hop, from switch 0.")) ]))

@@ -1,0 +1,1 @@
+examples/broadcast_deadlock.mli:

@@ -1,0 +1,1 @@
+examples/failover_demo.ml: Autonet Autonet_autopilot Autonet_core Autonet_host Autonet_net Autonet_sim Autonet_topo Eth Format List Short_address Uid

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Autonet Autonet_autopilot Autonet_core Autonet_host Autonet_net Autonet_sim Autonet_topo Epoch Eth Format Graph List Option Short_address Spanning_tree Uid

@@ -1,0 +1,1 @@
+examples/reconfiguration_demo.ml: Autonet Autonet_autopilot Autonet_core Autonet_sim Autonet_topo Format Graph List String

@@ -1,0 +1,1 @@
+examples/reconfiguration_demo.mli:

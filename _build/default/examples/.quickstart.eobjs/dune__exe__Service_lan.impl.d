@@ -1,0 +1,1 @@
+examples/service_lan.ml: Array Autonet Autonet_autopilot Autonet_core Autonet_dataplane Autonet_host Autonet_net Autonet_sim Autonet_topo Eth Format List

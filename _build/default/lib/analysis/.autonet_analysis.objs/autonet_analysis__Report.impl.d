@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Autonet_sim Buffer List Printf String

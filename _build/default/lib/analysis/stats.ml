@@ -1,0 +1,58 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.of_int (int_of_float rank)) in
+    let frac = rank -. float_of_int lo in
+    if lo + 1 >= n then a.(n - 1) else a.(lo) +. (frac *. (a.(lo + 1) -. a.(lo)))
+  end
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty"
+  | x :: xs -> List.fold_left Float.min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty"
+  | x :: xs -> List.fold_left Float.max x xs
+
+let histogram ~buckets xs =
+  if buckets < 1 then invalid_arg "Stats.histogram: buckets";
+  match xs with
+  | [] -> []
+  | _ ->
+    let lo = minimum xs and hi = maximum xs in
+    let width =
+      if hi > lo then (hi -. lo) /. float_of_int buckets else 1.0
+    in
+    let counts = Array.make buckets 0 in
+    List.iter
+      (fun x ->
+        let b =
+          min (buckets - 1) (max 0 (int_of_float ((x -. lo) /. width)))
+        in
+        counts.(b) <- counts.(b) + 1)
+      xs;
+    List.init buckets (fun i ->
+        (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width), counts.(i)))
+
+let mbps_of_bytes ~bytes ~ns =
+  if ns <= 0 then 0.0 else float_of_int (bytes * 8) /. float_of_int ns *. 1e3

@@ -1,0 +1,19 @@
+(** Small statistics helpers for the experiment harness. *)
+
+val mean : float list -> float
+(** 0 for the empty list. *)
+
+val stddev : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0, 100], by linear interpolation on the
+    sorted sample.  Raises [Invalid_argument] on an empty list. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val histogram : buckets:int -> float list -> (float * float * int) list
+(** Equal-width buckets as [(lo, hi, count)]. *)
+
+val mbps_of_bytes : bytes:int -> ns:int -> float
+(** Throughput in Mbit/s. *)

@@ -1,0 +1,1 @@
+lib/autonet/network.mli: Autonet_autopilot Autonet_core Autonet_sim Autonet_topo Autopilot Fabric Format Graph Params

@@ -1,0 +1,1 @@
+lib/autonet/service.ml: Autonet_autopilot Autonet_core Autonet_dataplane Autonet_host Autonet_net Autonet_sim Graph Hashtbl List Network Option Short_address Uid

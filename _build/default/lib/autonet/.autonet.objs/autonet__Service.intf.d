@@ -1,0 +1,1 @@
+lib/autonet/service.mli: Autonet_dataplane Autonet_host Autonet_net Autonet_sim Eth Network Uid

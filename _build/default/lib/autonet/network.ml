@@ -1,0 +1,252 @@
+open Autonet_net
+open Autonet_core
+open Autonet_autopilot
+module Engine = Autonet_sim.Engine
+module Time = Autonet_sim.Time
+module Rng = Autonet_sim.Rng
+
+type t = {
+  engine : Engine.t;
+  fabric : Fabric.t;
+  net_graph : Graph.t;
+  net_params : Params.t;
+  net_rng : Rng.t;
+  pilots : Autopilot.t array;
+}
+
+let create ?(params = Params.tuned) ?(seed = 1L) (topo : Autonet_topo.Builders.t) =
+  let engine = Engine.create () in
+  let net_rng = Rng.create ~seed in
+  let fabric =
+    Fabric.create ~engine ~graph:topo.Autonet_topo.Builders.graph ~params
+      ~rng:(Rng.split net_rng)
+  in
+  let g = topo.Autonet_topo.Builders.graph in
+  let pilots =
+    Array.init (Graph.switch_count g) (fun s ->
+        (* Real switch clocks drift; skews make the merged-log tooling
+           meaningful. *)
+        let clock_skew = Time.us (Rng.int net_rng 200) - Time.us 100 in
+        Autopilot.create ~fabric ~switch:s ~clock_skew ())
+  in
+  { engine; fabric; net_graph = g; net_params = params; net_rng; pilots }
+
+let engine t = t.engine
+let fabric t = t.fabric
+let graph t = t.net_graph
+let params t = t.net_params
+let rng t = t.net_rng
+let autopilot t s = t.pilots.(s)
+let now t = Engine.now t.engine
+
+let start t = Array.iter Autopilot.start t.pilots
+
+let run_for t dt = Engine.run t.engine ~until:(Time.add (now t) dt)
+
+(* --- Live topology --- *)
+
+let live_graph t =
+  let g = Graph.copy t.net_graph in
+  List.iter
+    (fun (l : Graph.link) ->
+      let sa, _ = l.a and sb, _ = l.b in
+      if
+        Fabric.link_failed t.fabric l.id
+        || (not (Autopilot.powered t.pilots.(sa)))
+        || not (Autopilot.powered t.pilots.(sb))
+      then Graph.disconnect g l.id)
+    (Graph.links t.net_graph);
+  g
+
+(* --- Convergence --- *)
+
+let live_components t =
+  let g = live_graph t in
+  Graph.components g
+  |> List.filter_map (fun comp ->
+         let powered = List.filter (fun s -> Autopilot.powered t.pilots.(s)) comp in
+         if powered = [] then None else Some powered)
+
+(* The configured report must reflect the live switch-to-switch topology of
+   the component — a network still running on a pre-fault configuration is
+   not converged.  Host ports are compared leniently: plugging a host in or
+   out does not reconfigure the network (paper 6.5.3). *)
+let report_matches_live live comp r =
+  List.for_all
+    (fun s ->
+      match Topology_report.find r (Graph.uid live s) with
+      | None -> false
+      | Some d ->
+        let live_links =
+          List.sort compare
+            (List.map
+               (fun (p, _, peer, pp) ->
+                 (p, Uid.to_int (Graph.uid live peer), pp))
+               (Graph.neighbors live s))
+        in
+        let report_links =
+          let acc = ref [] in
+          Array.iteri
+            (fun p desc ->
+              match desc with
+              | Topology_report.Switch_link { peer; peer_port } ->
+                acc := (p, Uid.to_int peer, peer_port) :: !acc
+              | Topology_report.Unused | Topology_report.Host_port -> ())
+            d.Topology_report.ports;
+          List.sort compare !acc
+        in
+        live_links = report_links)
+    comp
+
+let component_converged t live comp =
+  List.for_all (fun s -> Autopilot.configured t.pilots.(s)) comp
+  &&
+  match comp with
+  | [] -> true
+  | first :: rest -> (
+    let e0 = Autopilot.epoch t.pilots.(first) in
+    match Autopilot.complete_report t.pilots.(first) with
+    | None -> false
+    | Some r0 ->
+      Topology_report.size r0 = List.length comp
+      && report_matches_live live comp r0
+      && List.for_all
+           (fun s ->
+             Epoch.equal (Autopilot.epoch t.pilots.(s)) e0
+             &&
+             match Autopilot.complete_report t.pilots.(s) with
+             | Some r -> Topology_report.equal r r0
+             | None -> false)
+           rest)
+
+let converged t =
+  let live = live_graph t in
+  match live_components t with
+  | [] -> false
+  | comps -> List.for_all (component_converged t live) comps
+
+let run_until_converged ?(timeout = Time.s 60) t =
+  let deadline = Time.add (now t) timeout in
+  let slice = Time.ms 2 in
+  let rec loop () =
+    if converged t then Some (now t)
+    else if now t >= deadline then None
+    else begin
+      Engine.run t.engine ~until:(Time.min deadline (Time.add (now t) slice));
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- Faults --- *)
+
+let apply_fault t event =
+  match event with
+  | Autonet_topo.Faults.Link_down l -> Fabric.fail_link t.fabric l
+  | Autonet_topo.Faults.Link_up l -> Fabric.repair_link t.fabric l
+  | Autonet_topo.Faults.Switch_down s -> Autopilot.power_off t.pilots.(s)
+  | Autonet_topo.Faults.Switch_up s -> Autopilot.start t.pilots.(s)
+
+let schedule_faults t schedule =
+  List.iter
+    (fun { Autonet_topo.Faults.at; event } ->
+      ignore
+        (Engine.schedule_at t.engine ~time:at (fun () -> apply_fault t event)))
+    (Autonet_topo.Faults.sort schedule)
+
+(* --- Measurement --- *)
+
+type reconfiguration_measure = {
+  detection : Time.t;
+  reconfiguration : Time.t;
+  total : Time.t;
+  epochs_used : int;
+  control_packets : int;
+  control_bytes : int;
+}
+
+let measure_reconfiguration ?(timeout = Time.s 60) t ~trigger =
+  let before = Array.map Autopilot.stats t.pilots in
+  let fabric_before = Fabric.stats t.fabric in
+  let t0 = now t in
+  trigger t;
+  match run_until_converged ~timeout t with
+  | None -> None
+  | Some t_end ->
+    let first_epoch_start = ref None in
+    let last_configured = ref t0 in
+    let epochs = ref 0 in
+    Array.iteri
+      (fun i pilot ->
+        let s = Autopilot.stats pilot in
+        let delta =
+          s.Autopilot.reconfigurations_started
+          - before.(i).Autopilot.reconfigurations_started
+        in
+        if delta > 0 then begin
+          epochs := Stdlib.max !epochs delta;
+          match s.Autopilot.last_epoch_started_at with
+          | Some at ->
+            (* The stat records the *latest* epoch start; the measurement
+               wants the first one after the trigger, so track the minimum
+               over switches, which is the initiator's first start. *)
+            first_epoch_start :=
+              Some
+                (match !first_epoch_start with
+                | None -> at
+                | Some cur -> Time.min cur at)
+          | None -> ()
+        end;
+        match s.Autopilot.last_configured_at with
+        | Some at when at > t0 -> last_configured := Time.max !last_configured at
+        | _ -> ())
+      t.pilots;
+    let fabric_after = Fabric.stats t.fabric in
+    let first = Option.value ~default:t0 !first_epoch_start in
+    Some
+      { detection = Time.sub first t0;
+        reconfiguration = Time.sub !last_configured first;
+        total = Time.sub t_end t0;
+        epochs_used = !epochs;
+        control_packets =
+          fabric_after.Fabric.packets_sent - fabric_before.Fabric.packets_sent;
+        control_bytes =
+          fabric_after.Fabric.bytes_sent - fabric_before.Fabric.bytes_sent }
+
+let pp_measure ppf m =
+  Format.fprintf ppf
+    "detection %a, reconfiguration %a, total %a (%d epochs, %d pkts, %d bytes)"
+    Time.pp m.detection Time.pp m.reconfiguration Time.pp m.total m.epochs_used
+    m.control_packets m.control_bytes
+
+(* --- Inspection --- *)
+
+let merged_log t =
+  Event_log.merge
+    (Array.to_list
+       (Array.mapi
+          (fun i pilot ->
+            (Printf.sprintf "s%d" i, Autopilot.event_log pilot))
+          t.pilots))
+
+let verify_against_reference t =
+  let g = live_graph t in
+  List.for_all
+    (fun comp ->
+      match comp with
+      | [] -> true
+      | member :: _ ->
+        let tree = Spanning_tree.compute g ~member in
+        List.for_all
+          (fun s ->
+            let pilot = t.pilots.(s) in
+            Autopilot.configured pilot
+            && Spanning_tree.Position.equal (Autopilot.position pilot)
+                 (Spanning_tree.position tree g s)
+            &&
+            match Autopilot.complete_report pilot with
+            | Some r ->
+              Topology_report.size r = List.length (Spanning_tree.members tree)
+            | None -> false)
+          comp)
+    (live_components t)

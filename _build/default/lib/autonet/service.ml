@@ -1,0 +1,130 @@
+open Autonet_net
+open Autonet_core
+module Driver = Autonet_host.Driver
+module Localnet = Autonet_host.Localnet
+module Packet_sim = Autonet_dataplane.Packet_sim
+module Autopilot = Autonet_autopilot.Autopilot
+module Time = Autonet_sim.Time
+
+type host = {
+  uid : Uid.t;
+  driver : Driver.t;
+  localnet : Localnet.t;
+}
+
+type t = {
+  net : Network.t;
+  ps : Packet_sim.t;
+  host_list : host list;
+}
+
+let network t = t.net
+let packet_sim t = t.ps
+let hosts t = t.host_list
+
+let host_by_uid t u =
+  List.find_opt (fun h -> Uid.equal h.uid u) t.host_list
+
+let create ?driver_timeouts net =
+  let g = Network.graph net in
+  let ps =
+    Packet_sim.create ~engine:(Network.engine net) g ~tables:(fun s ->
+        Autopilot.forwarding_table (Network.autopilot net s))
+  in
+  (* Group attachment points by controller UID. *)
+  let by_uid = Hashtbl.create 32 in
+  List.iter
+    (fun (h : Graph.host_attachment) ->
+      let key = Uid.to_int h.host_uid in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_uid key) in
+      Hashtbl.replace by_uid key (h :: prev))
+    (Graph.hosts g);
+  let host_list =
+    Hashtbl.fold
+      (fun key atts acc ->
+        let uid = Uid.of_int key in
+        let atts =
+          List.sort (fun (a : Graph.host_attachment) b ->
+              compare a.host_port b.host_port)
+            atts
+        in
+        match atts with
+        | [] -> acc
+        | primary :: rest ->
+          let alternate =
+            match rest with
+            | a :: _ -> Some (a.Graph.switch, a.Graph.switch_port)
+            | [] -> None
+          in
+          let driver =
+            Driver.create ~fabric:(Network.fabric net) ?timeouts:driver_timeouts
+              ~host_uid:uid
+              ~primary:(primary.Graph.switch, primary.Graph.switch_port)
+              ?alternate ()
+          in
+          let localnet =
+            Localnet.create ~engine:(Network.engine net) ~host_uid:uid
+              ~transmit:(fun pkt ->
+                Packet_sim.send ps ~from:(Driver.active driver) pkt)
+              ~my_address:(fun () -> Driver.address driver)
+              ()
+          in
+          (* Data arriving at either attachment reaches LocalNet only when
+             that port is the active one (the controller uses one port at a
+             time). *)
+          List.iter
+            (fun (att : Graph.host_attachment) ->
+              let ep = (att.Graph.switch, att.Graph.switch_port) in
+              Packet_sim.set_host_rx ps ep (fun pkt ->
+                  if Driver.is_active driver ep then Localnet.on_packet localnet pkt))
+            atts;
+          (* Announce address changes so peers' caches update at once. *)
+          Driver.set_on_address driver (fun addr ->
+              match addr with
+              | Some _ -> Localnet.announce_address_change localnet
+              | None -> ());
+          { uid; driver; localnet } :: acc)
+      by_uid []
+    |> List.sort (fun a b -> Uid.compare a.uid b.uid)
+  in
+  { net; ps; host_list }
+
+let start t =
+  Network.start t.net;
+  List.iter (fun h -> Driver.start h.driver) t.host_list
+
+let run_until_hosts_ready ?(timeout = Time.s 120) t =
+  let deadline = Time.add (Network.now t.net) timeout in
+  (* A host is ready when its confirmed address agrees with the *current*
+     assignment of its active switch — an address learned during the boot
+     churn may be stale until the driver's next confirmation probe. *)
+  let host_ready h =
+    match Driver.address h.driver with
+    | None -> false
+    | Some a -> (
+      let sw, port = Driver.active h.driver in
+      let ap = Network.autopilot t.net sw in
+      Autopilot.configured ap
+      &&
+      match Autopilot.switch_number ap with
+      | Some number ->
+        Short_address.equal a (Short_address.assigned ~switch_number:number ~port)
+      | None -> false)
+  in
+  let ready () =
+    Network.converged t.net && List.for_all host_ready t.host_list
+  in
+  let rec loop () =
+    if ready () then true
+    else if Network.now t.net >= deadline then false
+    else begin
+      Network.run_for t.net (Time.ms 20);
+      loop ()
+    end
+  in
+  loop ()
+
+let send_datagram t ~from eth =
+  match host_by_uid t from with
+  | Some h -> Localnet.send h.localnet eth
+  | None -> false

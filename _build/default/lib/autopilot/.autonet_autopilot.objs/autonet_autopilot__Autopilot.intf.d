@@ -1,0 +1,1 @@
+lib/autopilot/autopilot.mli: Address_assign Autonet_core Autonet_net Autonet_sim Autonet_switch Epoch Event_log Fabric Graph Port_state Spanning_tree Topology_report Uid

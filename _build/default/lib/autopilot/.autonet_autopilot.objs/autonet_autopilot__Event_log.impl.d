@@ -1,0 +1,1 @@
+lib/autopilot/event_log.ml: Array Autonet_sim Format List Stdlib

@@ -1,0 +1,1 @@
+lib/autopilot/event_log.mli: Autonet_sim Format

@@ -1,0 +1,1 @@
+lib/autopilot/fabric.ml: Array Autonet_core Autonet_net Autonet_sim Command Graph Hashtbl List Packet Params Printf Queue

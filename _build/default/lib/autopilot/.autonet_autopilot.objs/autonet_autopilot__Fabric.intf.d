@@ -1,0 +1,1 @@
+lib/autopilot/fabric.mli: Autonet_core Autonet_net Autonet_sim Graph Packet Params

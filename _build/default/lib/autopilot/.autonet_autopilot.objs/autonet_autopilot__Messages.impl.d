@@ -1,0 +1,1 @@
+lib/autopilot/messages.ml: Autonet_core Autonet_net Epoch Format Int64 List Packet Port_state Printf Short_address Spanning_tree Topology_report Uid Wire

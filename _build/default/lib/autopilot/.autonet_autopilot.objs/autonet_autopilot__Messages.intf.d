@@ -1,0 +1,1 @@
+lib/autopilot/messages.mli: Autonet_core Autonet_net Epoch Format Packet Port_state Short_address Spanning_tree Topology_report Uid

@@ -1,0 +1,1 @@
+lib/autopilot/params.ml: Autonet_sim Format

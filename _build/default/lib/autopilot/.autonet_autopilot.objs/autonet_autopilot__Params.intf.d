@@ -1,0 +1,1 @@
+lib/autopilot/params.mli: Autonet_sim Format

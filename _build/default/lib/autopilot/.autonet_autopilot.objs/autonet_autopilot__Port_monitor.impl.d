@@ -1,0 +1,1 @@
+lib/autopilot/port_monitor.ml: Array Autonet_core Autonet_net Autonet_sim Fabric Graph Messages Params Port_state Printf Skeptic Stdlib Uid

@@ -1,0 +1,1 @@
+lib/autopilot/port_monitor.mli: Autonet_core Autonet_net Fabric Graph Messages Port_state Uid

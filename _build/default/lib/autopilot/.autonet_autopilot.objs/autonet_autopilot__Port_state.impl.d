@@ -1,0 +1,1 @@
+lib/autopilot/port_state.ml: Format

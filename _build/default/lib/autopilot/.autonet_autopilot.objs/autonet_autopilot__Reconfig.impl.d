@@ -1,0 +1,1 @@
+lib/autopilot/reconfig.ml: Address_assign Autonet_core Autonet_net Epoch Fabric Format Graph List Messages Option Routes Spanning_tree Tables Topology_report Uid Updown

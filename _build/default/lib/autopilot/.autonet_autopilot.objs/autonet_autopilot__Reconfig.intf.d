@@ -1,0 +1,1 @@
+lib/autopilot/reconfig.mli: Address_assign Autonet_core Autonet_net Epoch Fabric Graph Messages Spanning_tree Tables Topology_report Uid

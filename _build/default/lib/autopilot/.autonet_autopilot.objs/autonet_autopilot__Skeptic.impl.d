@@ -1,0 +1,1 @@
+lib/autopilot/skeptic.ml: Autonet_sim Format Params Stdlib

@@ -1,0 +1,1 @@
+lib/autopilot/skeptic.mli: Autonet_sim Format Params

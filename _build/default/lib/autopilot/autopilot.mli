@@ -1,0 +1,84 @@
+(** Autopilot: the switch control program (paper section 5.4).
+
+    One instance per switch.  It composes the port monitor (status sampler,
+    connectivity monitor, skeptics), the distributed reconfiguration
+    protocol, the forwarding table, the SRP debugging responder, the host
+    address service and the circular event log, and drives them from the
+    control-plane {!Fabric}.
+
+    Forwarding-table reloads are destructive: while a reload is in
+    progress, packets arriving at this switch are lost, reproducing the
+    cost the paper attributes to the reset-coupled reload. *)
+
+open Autonet_net
+open Autonet_core
+
+type t
+
+val create :
+  fabric:Fabric.t ->
+  switch:Graph.switch ->
+  ?clock_skew:Autonet_sim.Time.t ->
+  unit ->
+  t
+(** Builds the instance and registers its receive handler with the fabric;
+    call {!start} to boot it. *)
+
+val start : t -> unit
+(** Power-on: all ports in s.dead, epoch zero, begin monitoring. *)
+
+val power_off : t -> unit
+(** Stop all activity and forget volatile state.  {!start} reboots. *)
+
+val powered : t -> bool
+
+(** {1 Inspection} *)
+
+val switch : t -> Graph.switch
+val uid : t -> Uid.t
+val epoch : t -> Epoch.t
+val configured : t -> bool
+(** The step-5 table is loaded and host traffic flows. *)
+
+val position : t -> Spanning_tree.Position.t
+val port_state : t -> port:int -> Port_state.t
+val forwarding_table : t -> Autonet_switch.Forwarding_table.t
+val switch_number : t -> int option
+val assignment : t -> Address_assign.t option
+val complete_report : t -> Topology_report.t option
+val event_log : t -> Event_log.t
+
+type stats = {
+  reconfigurations_started : int;   (** epochs entered *)
+  configurations_completed : int;   (** step-5 loads finished *)
+  packets_lost_to_reset : int;      (** rx destroyed by table reloads *)
+  last_epoch_started_at : Autonet_sim.Time.t option;
+  last_configured_at : Autonet_sim.Time.t option;
+}
+
+val stats : t -> stats
+
+val set_on_configured : t -> (t -> unit) -> unit
+(** Callback fired each time this switch finishes loading its step-5
+    table. *)
+
+(** {1 Control} *)
+
+val initiate_reconfiguration : t -> reason:string -> unit
+(** Force a new epoch (used by tests; normally the port monitor decides). *)
+
+val force_port_dead : t -> port:int -> unit
+
+(** {1 Software rollout (paper 5.4, 7)} *)
+
+val software_version : t -> int
+(** The running Autopilot version (1 at first boot). *)
+
+val release_version : t -> version:int -> unit
+(** Download a new Autopilot into this switch (the paper's host-to-nearest-
+    switch path).  The switch reboots into it — losing all volatile state
+    and triggering reconfigurations — and, after the configured propagation
+    delay, offers the version to its neighbours, which do the same.  A
+    rollout therefore sweeps the network, causing the burst of
+    reconfigurations section 7 describes; the propagation delay is the
+    paper's damping knob. *)

@@ -1,0 +1,274 @@
+open Autonet_net
+open Autonet_core
+module Engine = Autonet_sim.Engine
+module Time = Autonet_sim.Time
+
+type flow_mode = Flow_normal | Flow_idhy
+
+type sample = {
+  errors : bool;
+  is_host : bool;
+  host_alternate : bool;
+  idhy : bool;
+}
+
+type station = {
+  mutable sw_rx : (port:int -> Packet.t -> unit) option;
+  rx_queue : (int * Packet.t) Queue.t;
+  mutable busy : bool;
+  mutable sw_powered : bool;
+  flow : flow_mode array; (* per port *)
+}
+
+type host_station = {
+  mutable h_rx : (Packet.t -> unit) option;
+  mutable h_powered : bool;
+  mutable h_active : bool;
+}
+
+type stats = {
+  packets_sent : int;
+  bytes_sent : int;
+  packets_dropped : int;
+  reflections : int;
+}
+
+type t = {
+  engine : Engine.t;
+  graph : Graph.t;
+  params : Params.t;
+  rng : Autonet_sim.Rng.t;
+  stations : station array;
+  hosts : (Graph.endpoint, host_station) Hashtbl.t;
+  mutable failed_links : int list;
+  mutable st_sent : int;
+  mutable st_bytes : int;
+  mutable st_dropped : int;
+  mutable st_reflections : int;
+}
+
+let create ~engine ~graph ~params ~rng =
+  let n = Graph.switch_count graph in
+  let stations =
+    Array.init n (fun _ ->
+        { sw_rx = None;
+          rx_queue = Queue.create ();
+          busy = false;
+          sw_powered = true;
+          flow = Array.make (Graph.max_ports graph + 1) Flow_normal })
+  in
+  let hosts = Hashtbl.create 64 in
+  List.iter
+    (fun (h : Graph.host_attachment) ->
+      Hashtbl.replace hosts (h.switch, h.switch_port)
+        { h_rx = None; h_powered = true; h_active = h.host_port = 0 })
+    (Graph.hosts graph);
+  { engine; graph; params; rng; stations; hosts;
+    failed_links = [];
+    st_sent = 0; st_bytes = 0; st_dropped = 0; st_reflections = 0 }
+
+let engine t = t.engine
+let graph t = t.graph
+let params t = t.params
+
+let attach_switch t s ~rx = t.stations.(s).sw_rx <- Some rx
+
+let host_station t ep =
+  match Hashtbl.find_opt t.hosts ep with
+  | Some h -> h
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Fabric: no host at switch %d port %d" (fst ep) (snd ep))
+
+let attach_host_port t ep ~rx = (host_station t ep).h_rx <- Some rx
+
+let fail_link t id =
+  if not (List.mem id t.failed_links) then t.failed_links <- id :: t.failed_links
+
+let repair_link t id =
+  t.failed_links <- List.filter (fun l -> l <> id) t.failed_links
+
+let link_failed t id = List.mem id t.failed_links
+
+let power_off_switch t s =
+  let st = t.stations.(s) in
+  st.sw_powered <- false;
+  Queue.clear st.rx_queue;
+  st.busy <- false
+
+let power_on_switch t s = t.stations.(s).sw_powered <- true
+let switch_powered t s = t.stations.(s).sw_powered
+
+let power_off_host t ep = (host_station t ep).h_powered <- false
+let power_on_host t ep = (host_station t ep).h_powered <- true
+
+let set_port_flow t s ~port mode = t.stations.(s).flow.(port) <- mode
+
+let set_host_active t ep v = (host_station t ep).h_active <- v
+let host_active t ep = (host_station t ep).h_active
+
+(* --- Delivery --- *)
+
+let transmission_delay packet = Packet.wire_size packet * Command.slot_ns
+
+let propagation_delay t =
+  Time.ns
+    (int_of_float
+       (Command.slots_per_km *. t.params.Params.link_length_km
+       *. float_of_int Command.slot_ns))
+
+(* Host controllers are fast pipelined hardware; charge a small fixed
+   receive cost rather than a 68000-style queue. *)
+let host_processing = Time.us 30
+
+(* Run the switch's processing queue: one packet per [processing_delay]. *)
+let rec process_next t s =
+  let st = t.stations.(s) in
+  if Queue.is_empty st.rx_queue || not st.sw_powered then st.busy <- false
+  else begin
+    st.busy <- true;
+    let port, packet = Queue.pop st.rx_queue in
+    ignore
+      (Engine.schedule t.engine ~delay:t.params.Params.processing_delay
+         (fun () ->
+           if st.sw_powered then begin
+             (match st.sw_rx with
+             | Some rx -> rx ~port packet
+             | None -> ());
+             process_next t s
+           end
+           else st.busy <- false))
+  end
+
+let deliver_to_switch t s ~port packet =
+  let st = t.stations.(s) in
+  if st.sw_powered then begin
+    Queue.add (port, packet) st.rx_queue;
+    if not st.busy then process_next t s
+  end
+  else t.st_dropped <- t.st_dropped + 1
+
+let deliver_to_host t ep packet =
+  match Hashtbl.find_opt t.hosts ep with
+  | Some h when h.h_powered ->
+    (match h.h_rx with
+    | Some rx ->
+      ignore (Engine.schedule t.engine ~delay:host_processing (fun () ->
+          if h.h_powered then rx packet))
+    | None -> t.st_dropped <- t.st_dropped + 1)
+  | Some _ | None -> t.st_dropped <- t.st_dropped + 1
+
+(* Transmit from a switch port into whatever the cable reaches.  [reflect]
+   delivers the packet back to the sender's own port, modelling the coax
+   behaviour at unpowered or absent terminations. *)
+let switch_send t ~from ~port packet =
+  let st = t.stations.(from) in
+  if not st.sw_powered then ()
+  else begin
+    t.st_sent <- t.st_sent + 1;
+    t.st_bytes <- t.st_bytes + Packet.wire_size packet;
+    let delay = Time.add (transmission_delay packet) (propagation_delay t) in
+    let reflect () =
+      t.st_reflections <- t.st_reflections + 1;
+      ignore
+        (Engine.schedule t.engine
+           ~delay:(Time.add delay (propagation_delay t))
+           (fun () -> deliver_to_switch t from ~port packet))
+    in
+    match Graph.host_at t.graph (from, port) with
+    | Some _ -> begin
+      match Hashtbl.find_opt t.hosts (from, port) with
+      | Some h when h.h_powered ->
+        ignore
+          (Engine.schedule t.engine ~delay (fun () ->
+               deliver_to_host t (from, port) packet))
+      | Some _ | None -> reflect ()
+    end
+    | None -> begin
+      match Graph.link_at t.graph (from, port) with
+      | None -> t.st_dropped <- t.st_dropped + 1 (* uncabled: noise, no echo *)
+      | Some id when link_failed t id -> t.st_dropped <- t.st_dropped + 1
+      | Some id -> begin
+        match Graph.link t.graph id with
+        | None -> t.st_dropped <- t.st_dropped + 1
+        | Some l ->
+          let peer, peer_port =
+            if (from, port) = l.a then l.b else l.a
+          in
+          if switch_powered t peer then
+            ignore
+              (Engine.schedule t.engine ~delay (fun () ->
+                   if not (link_failed t id) then
+                     deliver_to_switch t peer ~port:peer_port packet))
+          else reflect ()
+      end
+    end
+  end
+
+let host_send t ep packet =
+  let h = host_station t ep in
+  if h.h_powered then begin
+    t.st_sent <- t.st_sent + 1;
+    t.st_bytes <- t.st_bytes + Packet.wire_size packet;
+    let s, port = ep in
+    let delay = Time.add (transmission_delay packet) (propagation_delay t) in
+    if switch_powered t s then
+      ignore
+        (Engine.schedule t.engine ~delay (fun () ->
+             deliver_to_switch t s ~port packet))
+    else begin
+      (* Reflection back to the host. *)
+      t.st_reflections <- t.st_reflections + 1;
+      ignore
+        (Engine.schedule t.engine ~delay:(Time.add delay (propagation_delay t))
+           (fun () -> deliver_to_host t ep packet))
+    end
+  end
+
+(* --- Status synthesis --- *)
+
+let sample_healthy = { errors = false; is_host = false; host_alternate = false; idhy = false }
+
+let sample_port t s ~port =
+  match Graph.host_at t.graph (s, port) with
+  | Some _ -> begin
+    match Hashtbl.find_opt t.hosts (s, port) with
+    | Some h when h.h_powered ->
+      if h.h_active then { sample_healthy with is_host = true }
+      else { sample_healthy with host_alternate = true }
+    | Some _ | None ->
+      (* Host off: the cable reflects our own flow control; the port looks
+         like a quiet switch link. *)
+      sample_healthy
+  end
+  | None -> begin
+    match Graph.link_at t.graph (s, port) with
+    | None -> { sample_healthy with errors = true } (* uncabled: noise *)
+    | Some id when link_failed t id -> { sample_healthy with errors = true }
+    | Some id -> begin
+      match Graph.link t.graph id with
+      | None -> { sample_healthy with errors = true }
+      | Some l ->
+        let peer, peer_port = if (s, port) = l.a then l.b else l.a in
+        if not (switch_powered t peer) then sample_healthy (* reflecting *)
+        else if peer = s then
+          (* Loop link: we receive our own start directives: healthy,
+             not host; the connectivity monitor will classify the loop. *)
+          sample_healthy
+        else
+          let peer_flow = t.stations.(peer).flow.(peer_port) in
+          { sample_healthy with idhy = peer_flow = Flow_idhy }
+    end
+  end
+
+let stats t =
+  { packets_sent = t.st_sent;
+    bytes_sent = t.st_bytes;
+    packets_dropped = t.st_dropped;
+    reflections = t.st_reflections }
+
+let reset_stats t =
+  t.st_sent <- 0;
+  t.st_bytes <- 0;
+  t.st_dropped <- 0;
+  t.st_reflections <- 0

@@ -1,0 +1,103 @@
+(** The control-plane physical substrate.
+
+    Models what the control processors and host controllers can observe and
+    do at single-hop granularity: send a packet out a port (it arrives at
+    whatever the cable reaches after serialization at 100 Mbit/s plus
+    propagation delay), and poll a port's health.  Multi-hop data traffic
+    is the dataplane simulators' business; every control protocol in the
+    paper — tree positions, topology reports, connectivity probes, SRP,
+    host address queries — is hop-by-hop, so this single-hop fabric carries
+    all of it.
+
+    Physical modelling choices (documented in DESIGN.md):
+    - a control processor handles received packets one at a time, each
+      costing [processing_delay]; arrivals queue (the 68000 is the
+      bottleneck the paper tuned);
+    - a failed link drops packets and shows continuous errors at both ends;
+    - a cable to a powered-off switch or host reflects transmissions back
+      to the sender (the coax behaviour of section 5.3) and shows a clean
+      status — detecting a dead neighbour is the connectivity monitor's
+      job, exactly as in the paper;
+    - an uncabled port shows errors (the common observed fingerprint). *)
+
+open Autonet_net
+open Autonet_core
+
+type t
+
+val create :
+  engine:Autonet_sim.Engine.t -> graph:Graph.t -> params:Params.t ->
+  rng:Autonet_sim.Rng.t -> t
+
+val engine : t -> Autonet_sim.Engine.t
+val graph : t -> Graph.t
+val params : t -> Params.t
+
+(** {1 Attachment} *)
+
+val attach_switch : t -> Graph.switch -> rx:(port:int -> Packet.t -> unit) -> unit
+(** Install the control processor's receive handler.  The handler runs
+    after the packet's turn in the processing queue. *)
+
+val attach_host_port : t -> Graph.endpoint -> rx:(Packet.t -> unit) -> unit
+
+(** {1 Sending} *)
+
+val switch_send : t -> from:Graph.switch -> port:int -> Packet.t -> unit
+(** Transmit out an external port.  Silently dropped when the sending
+    switch is off, the port leads nowhere live, or the link has failed. *)
+
+val host_send : t -> Graph.endpoint -> Packet.t -> unit
+(** A host controller transmits into its attached switch port. *)
+
+(** {1 Component health} *)
+
+val fail_link : t -> Graph.link_id -> unit
+val repair_link : t -> Graph.link_id -> unit
+val link_failed : t -> Graph.link_id -> bool
+
+val power_off_switch : t -> Graph.switch -> unit
+(** Drops the processing queue.  The upper layer is responsible for
+    resetting the Autopilot instance on power-on. *)
+
+val power_on_switch : t -> Graph.switch -> unit
+val switch_powered : t -> Graph.switch -> bool
+
+val power_off_host : t -> Graph.endpoint -> unit
+val power_on_host : t -> Graph.endpoint -> unit
+
+(** {1 Port observation and signalling} *)
+
+type flow_mode =
+  | Flow_normal  (** start/stop per FIFO state *)
+  | Flow_idhy    (** the port is in s.dead: force the peer to distrust the link *)
+
+val set_port_flow : t -> Graph.switch -> port:int -> flow_mode -> unit
+
+val set_host_active : t -> Graph.endpoint -> bool -> unit
+(** An active host port sends [host] flow control; an alternate port sends
+    only sync, the pattern the sampler classifies from BadSyntax. *)
+
+val host_active : t -> Graph.endpoint -> bool
+
+type sample = {
+  errors : bool;         (** BadCode-class trouble observed *)
+  is_host : bool;        (** the [host] directive is being received *)
+  host_alternate : bool; (** constant BadSyntax, no flow control: alternate host port *)
+  idhy : bool;           (** the peer is sending idhy *)
+}
+
+val sample_port : t -> Graph.switch -> port:int -> sample
+(** What the status sampler reads for this port right now. *)
+
+(** {1 Accounting} *)
+
+type stats = {
+  packets_sent : int;
+  bytes_sent : int;
+  packets_dropped : int;
+  reflections : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

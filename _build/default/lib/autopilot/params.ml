@@ -1,0 +1,91 @@
+module Time = Autonet_sim.Time
+
+type skeptic = {
+  initial_hold : Time.t;
+  max_hold : Time.t;
+  backoff_factor : int;
+  decay_good : Time.t;
+}
+
+type t = {
+  processing_delay : Time.t;
+  timer_resolution : Time.t;
+  table_load_time : Time.t;
+  reset_time : Time.t;
+  retransmit_interval : Time.t;
+  status_sample_interval : Time.t;
+  conn_probe_interval : Time.t;
+  conn_probe_fast_interval : Time.t;
+  conn_miss_limit : int;
+  status_skeptic : skeptic;
+  conn_skeptic : skeptic;
+  version_propagation_delay : Time.t;
+  link_length_km : float;
+}
+
+(* All presets share the hardware facts (timer resolution, link length);
+   they differ in software costs, the protocol's impatience, and the cost
+   of recomputing and reloading tables. *)
+
+let default_status_skeptic =
+  { initial_hold = Time.ms 200;
+    max_hold = Time.s 60;
+    backoff_factor = 2;
+    decay_good = Time.s 10 }
+
+let default_conn_skeptic =
+  { initial_hold = Time.ms 100;
+    max_hold = Time.s 30;
+    backoff_factor = 2;
+    decay_good = Time.s 10 }
+
+let naive =
+  { processing_delay = Time.us 14000;
+    timer_resolution = Time.us 1200;
+    table_load_time = Time.ms 500;
+    reset_time = Time.ms 60;
+    retransmit_interval = Time.s 4;
+    status_sample_interval = Time.ms 10;
+    conn_probe_interval = Time.s 2;
+    conn_probe_fast_interval = Time.ms 400;
+    conn_miss_limit = 4;
+    status_skeptic = default_status_skeptic;
+    conn_skeptic = default_conn_skeptic;
+    version_propagation_delay = Time.ms 50;
+    link_length_km = 0.1 }
+
+let tuned =
+  { naive with
+    processing_delay = Time.us 3000;
+    table_load_time = Time.ms 80;
+    reset_time = Time.ms 10;
+    retransmit_interval = Time.ms 150;
+    conn_probe_interval = Time.ms 800;
+    conn_probe_fast_interval = Time.ms 100 }
+
+let fast =
+  { naive with
+    processing_delay = Time.us 600;
+    table_load_time = Time.ms 30;
+    reset_time = Time.ms 5;
+    retransmit_interval = Time.ms 60;
+    conn_probe_interval = Time.ms 500;
+    conn_probe_fast_interval = Time.ms 50 }
+
+let preset = function
+  | "naive" -> Some naive
+  | "tuned" -> Some tuned
+  | "fast" -> Some fast
+  | _ -> None
+
+let round_to_timer t delay =
+  let r = t.timer_resolution in
+  if delay <= 0 then r else (delay + r - 1) / r * r
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>params:@,  processing %a, table load %a, retransmit %a@,\
+    \  sample %a, probe %a/%a, miss limit %d@]"
+    Time.pp t.processing_delay Time.pp t.table_load_time Time.pp
+    t.retransmit_interval Time.pp t.status_sample_interval Time.pp
+    t.conn_probe_fast_interval Time.pp t.conn_probe_interval t.conn_miss_limit

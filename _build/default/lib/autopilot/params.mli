@@ -1,0 +1,73 @@
+(** Autopilot tuning parameters.
+
+    The paper reports three performance regimes for reconfiguration of the
+    30-switch service network: about 5 s for the first, easy-to-debug
+    implementation, about 0.5 s after tuning, with 0.2 s believed reachable
+    (and 170 ms achieved in later work).  The dominant costs are per-packet
+    processing on the 68000, the timer resolution of the task scheduler,
+    retransmission intervals, and the forwarding-table reload (which resets
+    the switch).  The presets below encode those regimes; EXPERIMENTS.md
+    records the calibration. *)
+
+type skeptic = {
+  initial_hold : Autonet_sim.Time.t;
+      (** probation before the first promotion *)
+  max_hold : Autonet_sim.Time.t;
+      (** upper bound on the hold-down period *)
+  backoff_factor : int;
+      (** hold-down multiplier per relapse *)
+  decay_good : Autonet_sim.Time.t;
+      (** time spent healthy that halves the next hold-down *)
+}
+
+type t = {
+  (* control processor *)
+  processing_delay : Autonet_sim.Time.t;
+      (** software cost to handle one received control packet *)
+  timer_resolution : Autonet_sim.Time.t;
+      (** task timeouts round up to a multiple of this (1.2 ms in the paper) *)
+  table_load_time : Autonet_sim.Time.t;
+      (** route recomputation plus table reload: the control processor is
+          busy this long before the new table is in service *)
+  reset_time : Autonet_sim.Time.t;
+      (** the destructive reset at the start of a reload: packets arriving
+          in this window are destroyed (paper section 7) *)
+  (* protocol *)
+  retransmit_interval : Autonet_sim.Time.t;
+  (* port monitoring *)
+  status_sample_interval : Autonet_sim.Time.t;
+  conn_probe_interval : Autonet_sim.Time.t;
+      (** connectivity test packet period for verified ports *)
+  conn_probe_fast_interval : Autonet_sim.Time.t;
+      (** probe period while a port is still in s.switch.who *)
+  conn_miss_limit : int;
+      (** consecutive unanswered probes before s.switch.good is revoked *)
+  status_skeptic : skeptic;
+  conn_skeptic : skeptic;
+  (* software rollout *)
+  version_propagation_delay : Autonet_sim.Time.t;
+      (** pause before a freshly booted Autopilot offers its version to
+          neighbours: the paper's mitigation for the reconfiguration storm
+          a release causes ("we now limit the disruption ... by making
+          compatible versions propagate more slowly") *)
+  (* link model *)
+  link_length_km : float;
+}
+
+val naive : t
+(** The first implementation: lands around the paper's ~5 s
+    reconfiguration of the 30-switch network. *)
+
+val tuned : t
+(** The improved implementation: ~0.5 s. *)
+
+val fast : t
+(** The projected implementation: ~0.2 s. *)
+
+val preset : string -> t option
+(** ["naive"], ["tuned"], ["fast"]. *)
+
+val round_to_timer : t -> Autonet_sim.Time.t -> Autonet_sim.Time.t
+(** Round a delay up to the timer resolution (minimum one tick). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(** Port-state monitoring: the status sampler, the connectivity monitor and
+    the two skeptics (paper sections 6.5.3-6.5.5).
+
+    The status sampler polls the hardware status of every external port each
+    sampling interval and classifies ports among [Dead], [Checking], [Host]
+    and [Switch_who]; the status skeptic stretches the error-free probation
+    a port must serve before leaving [Dead].  The connectivity monitor
+    probes ports in the [Switch_*] states with test packets: a proper reply
+    from another switch promotes [Switch_who] to [Switch_good] once the
+    connectivity skeptic's hold is served; a reply carrying our own UID
+    reveals a looped or reflecting cable; missed replies demote
+    [Switch_good] back to [Switch_who].
+
+    The monitor announces every state change through [on_transition]; the
+    owning Autopilot triggers a network-wide reconfiguration when the
+    change touches [Switch_good]. *)
+
+open Autonet_net
+open Autonet_core
+
+type transition = {
+  port : int;
+  from_state : Port_state.t;
+  into_state : Port_state.t;
+  neighbor : (Uid.t * int) option;
+      (** verified neighbour (uid, remote port) when entering Switch_good *)
+}
+
+type t
+
+val create :
+  fabric:Fabric.t ->
+  switch:Graph.switch ->
+  uid:Uid.t ->
+  send:(port:int -> Messages.t -> unit) ->
+  sw_version:(unit -> int) ->
+  on_transition:(transition -> unit) ->
+  log:(string -> unit) ->
+  unit ->
+  t
+
+val start : t -> unit
+(** Begin sampling and probing.  All ports boot in [Dead] and send idhy. *)
+
+val stop : t -> unit
+(** Cancel the periodic tasks (switch power-off). *)
+
+val reset : t -> unit
+(** Return every port to the boot state — s.dead, idhy outbound, skeptics
+    and neighbour knowledge forgotten — without firing transition
+    callbacks.  Called when the switch (re)boots: the link units reset, so
+    the neighbours' monitors notice the dead ports and re-verify, which is
+    how a rebooted switch gets pulled into the network's current epoch. *)
+
+val state : t -> port:int -> Port_state.t
+
+val neighbor : t -> port:int -> (Uid.t * int) option
+(** The verified neighbour of a [Switch_good] port. *)
+
+val good_ports : t -> (int * Uid.t * int) list
+(** [(port, neighbour uid, neighbour port)] for every [Switch_good] port,
+    ascending by port. *)
+
+val handle_message : t -> port:int -> Messages.t -> bool
+(** Process [Conn_test]/[Conn_reply]; returns false when the message is not
+    for the monitor. *)
+
+val force_dead : t -> port:int -> unit
+(** Administrative demotion (used by tests and by the storm defence). *)

@@ -1,0 +1,39 @@
+module Time = Autonet_sim.Time
+
+type t = {
+  params : Params.skeptic;
+  mutable hold : Time.t;
+  mutable last_relapse : Time.t option;
+}
+
+let create params = { params; hold = params.Params.initial_hold; last_relapse = None }
+
+let required_hold t = t.hold
+
+let apply_decay t ~healthy =
+  if t.params.Params.decay_good > 0 then begin
+    let halvings = healthy / t.params.Params.decay_good in
+    let rec halve hold k =
+      if k <= 0 || hold <= t.params.Params.initial_hold then
+        Stdlib.max hold t.params.Params.initial_hold
+      else halve (hold / 2) (k - 1)
+    in
+    t.hold <- halve t.hold halvings
+  end
+
+let note_relapse t ~now =
+  (match t.last_relapse with
+  | Some prev when now > prev -> apply_decay t ~healthy:(Time.sub now prev)
+  | Some _ | None -> ());
+  t.last_relapse <- Some now;
+  t.hold <-
+    Stdlib.min t.params.Params.max_hold (t.hold * t.params.Params.backoff_factor)
+
+let note_healthy_since t ~promoted_at ~now =
+  if now > promoted_at then apply_decay t ~healthy:(Time.sub now promoted_at)
+
+let reset t =
+  t.hold <- t.params.Params.initial_hold;
+  t.last_relapse <- None
+
+let pp ppf t = Format.fprintf ppf "skeptic(hold=%a)" Time.pp t.hold

@@ -1,0 +1,31 @@
+(** The skeptic algorithms (paper section 6.5.5).
+
+    A skeptic guards a promotion (dead -> checking for the status skeptic,
+    switch.who -> switch.good for the connectivity skeptic) behind a
+    hold-down period.  Each relapse multiplies the next hold-down by a
+    backoff factor up to a cap; time spent healthy decays it back toward
+    the initial value.  This is what keeps a flapping link from driving the
+    network into continuous reconfiguration while leaving clean failures
+    fast to react to. *)
+
+type t
+
+val create : Params.skeptic -> t
+
+val required_hold : t -> Autonet_sim.Time.t
+(** The hold-down the next promotion must wait out. *)
+
+val note_relapse : t -> now:Autonet_sim.Time.t -> unit
+(** The guarded resource failed (again): lengthen the next hold-down.
+    Healthy time accumulated since the last relapse is credited first —
+    one decay interval of health halves the hold-down before the backoff
+    multiplies it. *)
+
+val note_healthy_since : t -> promoted_at:Autonet_sim.Time.t -> now:Autonet_sim.Time.t -> unit
+(** Credit a healthy interval explicitly (used when the port is retired
+    gracefully rather than by failure). *)
+
+val reset : t -> unit
+(** Back to the initial hold-down. *)
+
+val pp : Format.formatter -> t -> unit

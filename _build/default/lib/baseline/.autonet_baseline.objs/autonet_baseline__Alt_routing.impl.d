@@ -1,0 +1,1 @@
+lib/baseline/alt_routing.ml: Address_assign Array Autonet_core Fun Graph Int List Queue Routes Spanning_tree Tables Updown Verify

@@ -1,0 +1,1 @@
+lib/baseline/alt_routing.mli: Address_assign Autonet_core Graph Spanning_tree Tables

@@ -1,0 +1,1 @@
+lib/baseline/shared_media.ml:

@@ -1,0 +1,29 @@
+(** Alternative routing schemes, rendered as ordinary forwarding-table
+    specs so they run on the same simulators and verifiers as up*/down*.
+
+    - {!tree_only}: unicast traffic restricted to spanning-tree links, the
+      forwarding pattern of transparent Ethernet bridges (and the flooding
+      network comparison of paper section 3.2).  Deadlock-free but it
+      leaves every cross link idle.
+    - {!shortest_path}: unrestricted minimal routing over all links, the
+      straw man of section 3.6 — better path lengths, but its channel
+      dependency graph is cyclic on most multipath topologies, which the
+      deadlock checker and the flit simulator both expose. *)
+
+open Autonet_core
+
+val tree_only :
+  Graph.t -> Spanning_tree.t -> Address_assign.t -> Tables.spec list
+(** Unicast entries follow the unique tree path; broadcast entries are the
+    same tree flood as the real tables. *)
+
+val shortest_path :
+  Graph.t -> Spanning_tree.t -> Address_assign.t -> Tables.spec list
+(** Unicast entries take every minimal-hop neighbour over any link,
+    ignoring the up*/down* rule; broadcasts still use the tree. *)
+
+val mean_path_length :
+  Graph.t -> Tables.spec list -> Address_assign.t -> float option
+(** Mean over ordered host pairs of delivered hop counts (walking the
+    tables); [None] if any pair fails to deliver.  The path-inflation
+    metric of experiment E7. *)

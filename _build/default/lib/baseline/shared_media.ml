@@ -1,0 +1,58 @@
+type kind = Fddi | Ethernet
+
+type t = { kind : kind; n_stations : int }
+
+(* Per-station token latency on FDDI: propagation to the next station plus
+   the station's own repeat latency — about a microsecond. *)
+let fddi_hop_ns = 1_000
+
+let fddi ~stations =
+  if stations < 2 then invalid_arg "Shared_media.fddi: stations";
+  { kind = Fddi; n_stations = stations }
+
+let ethernet ~stations =
+  if stations < 2 then invalid_arg "Shared_media.ethernet: stations";
+  { kind = Ethernet; n_stations = stations }
+
+let name t = match t.kind with Fddi -> "fddi" | Ethernet -> "ethernet"
+let stations t = t.n_stations
+
+let media_bandwidth_mbps t =
+  match t.kind with Fddi -> 100.0 | Ethernet -> 10.0
+
+(* CSMA/CD loses capacity to collisions and deference as load rises. *)
+let ethernet_efficiency = 0.85
+
+let rotation_ns t =
+  match t.kind with
+  | Fddi -> t.n_stations * fddi_hop_ns
+  | Ethernet -> 0
+
+let serialization_ns t ~bytes =
+  int_of_float (float_of_int (bytes * 8) /. media_bandwidth_mbps t *. 1e3)
+
+let aggregate_goodput_mbps t ~pairs ~bytes =
+  if pairs < 1 then 0.0
+  else
+    match t.kind with
+    | Fddi ->
+      (* Every frame serializes on the ring; between frames the token
+         moves to the next sender (1/pairs of a rotation on average when
+         senders are spread around the ring). *)
+      let per_frame =
+        serialization_ns t ~bytes + (rotation_ns t / max 1 pairs)
+      in
+      float_of_int (bytes * 8) /. float_of_int per_frame *. 1e3
+    | Ethernet ->
+      let raw = media_bandwidth_mbps t in
+      if pairs = 1 then raw *. 0.95 else raw *. ethernet_efficiency
+
+let unloaded_latency_ns t ~bytes =
+  match t.kind with
+  | Fddi ->
+    (* Wait half a token rotation on average, then transmit; the frame
+       travels half the ring to its destination. *)
+    (rotation_ns t / 2) + serialization_ns t ~bytes + (rotation_ns t / 2)
+  | Ethernet ->
+    (* Immediate access when idle. *)
+    serialization_ns t ~bytes

@@ -1,0 +1,1 @@
+lib/core/address_assign.ml: Array Autonet_net Format Graph Hashtbl List Short_address Uid

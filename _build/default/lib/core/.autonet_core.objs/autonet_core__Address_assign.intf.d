@@ -1,0 +1,1 @@
+lib/core/address_assign.mli: Autonet_net Format Graph Short_address Uid

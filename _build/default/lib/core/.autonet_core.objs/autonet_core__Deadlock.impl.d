@@ -1,0 +1,1 @@
+lib/core/deadlock.ml: Array Format Graph Hashtbl List Stdlib Tables

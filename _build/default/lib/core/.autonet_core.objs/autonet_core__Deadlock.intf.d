@@ -1,0 +1,1 @@
+lib/core/deadlock.mli: Format Graph Tables

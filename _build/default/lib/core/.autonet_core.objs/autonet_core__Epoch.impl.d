@@ -1,0 +1,1 @@
+lib/core/epoch.ml: Format Int64

@@ -1,0 +1,1 @@
+lib/core/graph.ml: Array Autonet_net Format Fun Int List Printf Queue Stdlib Uid

@@ -1,0 +1,1 @@
+lib/core/graph.mli: Autonet_net Format Uid

@@ -1,0 +1,1 @@
+lib/core/routes.ml: Array Format Graph List Queue Spanning_tree Updown

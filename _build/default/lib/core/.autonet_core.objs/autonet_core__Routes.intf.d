@@ -1,0 +1,1 @@
+lib/core/routes.mli: Format Graph Spanning_tree Updown

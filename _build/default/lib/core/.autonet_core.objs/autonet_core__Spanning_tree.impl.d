@@ -1,0 +1,1 @@
+lib/core/spanning_tree.ml: Array Autonet_net Format Graph Int List Queue Stdlib Uid

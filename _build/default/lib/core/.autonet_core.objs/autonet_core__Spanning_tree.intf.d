@@ -1,0 +1,1 @@
+lib/core/spanning_tree.mli: Autonet_net Format Graph Uid

@@ -1,0 +1,1 @@
+lib/core/tables.ml: Address_assign Autonet_net Format Graph Hashtbl Int List Routes Short_address Spanning_tree String Updown

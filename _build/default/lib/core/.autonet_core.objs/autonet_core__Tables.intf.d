@@ -1,0 +1,1 @@
+lib/core/tables.mli: Address_assign Autonet_net Format Graph Routes Short_address Spanning_tree Updown

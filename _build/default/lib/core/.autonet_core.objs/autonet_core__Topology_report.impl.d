@@ -1,0 +1,1 @@
+lib/core/topology_report.ml: Array Autonet_net Format Graph List Printf Uid Wire

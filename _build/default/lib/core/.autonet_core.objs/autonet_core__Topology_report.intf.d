@@ -1,0 +1,1 @@
+lib/core/topology_report.mli: Autonet_net Format Graph Uid Wire

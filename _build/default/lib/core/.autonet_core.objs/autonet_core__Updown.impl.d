@@ -1,0 +1,1 @@
+lib/core/updown.ml: Array Autonet_net Format Graph List Spanning_tree Stdlib Uid

@@ -1,0 +1,1 @@
+lib/core/updown.mli: Format Graph Spanning_tree

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Address_assign Autonet_sim Format Graph List Queue Tables Updown

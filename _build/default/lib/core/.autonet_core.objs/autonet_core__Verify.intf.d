@@ -1,0 +1,1 @@
+lib/core/verify.mli: Address_assign Autonet_net Autonet_sim Format Graph Short_address Tables Updown

@@ -1,0 +1,122 @@
+open Autonet_net
+
+let valid_number n =
+  n >= Short_address.first_switch_number && n <= Short_address.max_switch_number
+
+let resolve_proposals proposals =
+  let n = List.length proposals in
+  if n > Short_address.max_switch_number then
+    invalid_arg "Address_assign: more switches than assignable numbers";
+  let uids = List.map fst proposals in
+  if List.length (List.sort_uniq Uid.compare uids) <> n then
+    invalid_arg "Address_assign: duplicate UID";
+  (* Requested numbers, whether or not they end up granted: losers must
+     receive numbers nobody requested. *)
+  let requested = Hashtbl.create 16 in
+  List.iter
+    (fun (_, p) -> if valid_number p then Hashtbl.replace requested p ())
+    proposals;
+  (* Grant in UID order so that each contested number goes to the smallest
+     UID proposing it. *)
+  let in_uid_order =
+    List.sort (fun (a, _) (b, _) -> Uid.compare a b) proposals
+  in
+  let taken = Hashtbl.create 16 in
+  let granted, losers =
+    List.fold_left
+      (fun (granted, losers) (uid, p) ->
+        if valid_number p && not (Hashtbl.mem taken p) then begin
+          Hashtbl.replace taken p ();
+          ((uid, p) :: granted, losers)
+        end
+        else (granted, uid :: losers))
+      ([], []) in_uid_order
+  in
+  (* Lowest unrequested numbers for the losers, in UID order; fall back to
+     any free number if the unrequested ones run out. *)
+  let next_free ~avoid_requested =
+    let rec find k =
+      if k > Short_address.max_switch_number then None
+      else if
+        (not (Hashtbl.mem taken k))
+        && ((not avoid_requested) || not (Hashtbl.mem requested k))
+      then Some k
+      else find (k + 1)
+    in
+    find Short_address.first_switch_number
+  in
+  (* [losers] accumulated newest-first; restore UID order so the smallest
+     UID receives the lowest number. *)
+  let assigned_losers =
+    List.map
+      (fun uid ->
+        let k =
+          match next_free ~avoid_requested:true with
+          | Some k -> k
+          | None -> (
+            match next_free ~avoid_requested:false with
+            | Some k -> k
+            | None -> assert false (* n <= max_switch_number *))
+        in
+        Hashtbl.replace taken k ();
+        (uid, k))
+      (List.rev losers)
+  in
+  List.sort
+    (fun (a, _) (b, _) -> Uid.compare a b)
+    (List.rev_append granted assigned_losers)
+
+type t = {
+  numbers : int array; (* per switch index; -1 = outside this assignment *)
+  by_number : (int, Graph.switch) Hashtbl.t;
+}
+
+let make g proposals =
+  let resolved =
+    resolve_proposals
+      (List.map (fun (s, p) -> (Graph.uid g s, p)) proposals)
+  in
+  let numbers = Array.make (Graph.switch_count g) (-1) in
+  let by_number = Hashtbl.create 16 in
+  List.iter
+    (fun (uid, k) ->
+      match Graph.switch_of_uid g uid with
+      | Some s ->
+        numbers.(s) <- k;
+        Hashtbl.replace by_number k s
+      | None -> assert false)
+    resolved;
+  { numbers; by_number }
+
+let number t s =
+  if s < 0 || s >= Array.length t.numbers || t.numbers.(s) < 0 then None
+  else Some t.numbers.(s)
+
+let switch_of_number t k = Hashtbl.find_opt t.by_number k
+
+let address t s port =
+  match number t s with
+  | None -> invalid_arg "Address_assign.address: unassigned switch"
+  | Some k -> Short_address.assigned ~switch_number:k ~port
+
+let resolve t a =
+  match Short_address.split a with
+  | None -> None
+  | Some (k, port) -> (
+    match switch_of_number t k with
+    | Some s -> Some (s, port)
+    | None -> None)
+
+let alist t =
+  let acc = ref [] in
+  for s = Array.length t.numbers - 1 downto 0 do
+    if t.numbers.(s) >= 0 then acc := (s, t.numbers.(s)) :: !acc
+  done;
+  !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>assignment:@,";
+  List.iter
+    (fun (s, k) -> Format.fprintf ppf "  s%d -> number %d@," s k)
+    (alist t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,151 @@
+type channel = {
+  link : Graph.link_id;
+  from_switch : Graph.switch;
+  to_switch : Graph.switch;
+}
+
+let pp_channel ppf c =
+  Format.fprintf ppf "link%d(s%d->s%d)" c.link c.from_switch c.to_switch
+
+type result = Acyclic | Cycle of channel list
+
+let pp_result ppf = function
+  | Acyclic -> Format.pp_print_string ppf "acyclic"
+  | Cycle cs ->
+    Format.fprintf ppf "cycle: %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+         pp_channel)
+      cs
+
+(* A channel is a directed half of a non-loop link.  Index 2*link + 0 for
+   the a->b direction, +1 for b->a. *)
+let channel_index g ~link_id ~from_switch =
+  match Graph.link g link_id with
+  | None -> None
+  | Some l ->
+    if Graph.is_loop l then None
+    else
+      let sa, _ = l.a in
+      Some (if from_switch = sa then 2 * link_id else (2 * link_id) + 1)
+
+let channel_of_index g idx =
+  let link_id = idx / 2 in
+  match Graph.link g link_id with
+  | None -> assert false
+  | Some l ->
+    let sa, _ = l.a and sb, _ = l.b in
+    if idx land 1 = 0 then { link = link_id; from_switch = sa; to_switch = sb }
+    else { link = link_id; from_switch = sb; to_switch = sa }
+
+let max_channel g =
+  List.fold_left
+    (fun acc (l : Graph.link) -> Stdlib.max acc ((2 * l.id) + 2))
+    0 (Graph.links g)
+
+let find_cycle g adj n =
+  (* 0 = white, 1 = on stack, 2 = done.  Returns the first back-edge cycle
+     found, as a channel list. *)
+  let state = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let exception Found of int * int in
+  let rec dfs v =
+    state.(v) <- 1;
+    List.iter
+      (fun w ->
+        if state.(w) = 1 then raise (Found (v, w))
+        else if state.(w) = 0 then begin
+          parent.(w) <- v;
+          dfs w
+        end)
+      adj.(v);
+    state.(v) <- 2
+  in
+  try
+    for v = 0 to n - 1 do
+      if state.(v) = 0 && adj.(v) <> [] then dfs v
+    done;
+    Acyclic
+  with Found (v, w) ->
+    (* Walk parents from v back to w to materialize the cycle. *)
+    let rec collect acc u = if u = w then u :: acc else collect (u :: acc) parent.(u) in
+    let cycle = collect [] v in
+    Cycle (List.map (channel_of_index g) cycle)
+
+let check_tables g specs =
+  let n = max_channel g in
+  let adj = Array.make n [] in
+  let seen = Hashtbl.create 1024 in
+  let add_edge c1 c2 =
+    if not (Hashtbl.mem seen (c1, c2)) then begin
+      Hashtbl.replace seen (c1, c2) ();
+      adj.(c1) <- c2 :: adj.(c1)
+    end
+  in
+  List.iter
+    (fun spec ->
+      let s = Tables.switch spec in
+      Tables.fold spec ~init:() ~f:(fun () ~in_port ~dst:_ entry ->
+          if (not entry.Tables.broadcast) && in_port <> 0 then
+            match Graph.link_at g (s, in_port) with
+            | None -> ()
+            | Some l_in -> (
+              match channel_index g ~link_id:l_in ~from_switch:(
+                match Graph.link g l_in with
+                | Some l -> fst (Graph.other_end l s)
+                | None -> s)
+              with
+              | None -> ()
+              | Some c1 ->
+                List.iter
+                  (fun p ->
+                    if p <> 0 then
+                      match Graph.link_at g (s, p) with
+                      | None -> ()
+                      | Some l_out -> (
+                        match channel_index g ~link_id:l_out ~from_switch:s with
+                        | None -> ()
+                        | Some c2 -> add_edge c1 c2))
+                  entry.Tables.ports)))
+    specs;
+  find_cycle g adj n
+
+let check_next_hops g ~switches ~next =
+  let n = max_channel g in
+  let adj = Array.make n [] in
+  let seen = Hashtbl.create 1024 in
+  let add_edge c1 c2 =
+    if not (Hashtbl.mem seen (c1, c2)) then begin
+      Hashtbl.replace seen (c1, c2) ();
+      adj.(c1) <- c2 :: adj.(c1)
+    end
+  in
+  List.iter
+    (fun s ->
+      let in_channels =
+        List.filter_map
+          (fun (p, l_id, peer, _) ->
+            match channel_index g ~link_id:l_id ~from_switch:peer with
+            | Some c -> Some (p, c)
+            | None -> None)
+          (Graph.neighbors g s)
+      in
+      List.iter
+        (fun dst ->
+          if dst <> s then
+            List.iter
+              (fun (in_port, c1) ->
+                List.iter
+                  (fun p ->
+                    if p <> 0 then
+                      match Graph.link_at g (s, p) with
+                      | None -> ()
+                      | Some l_out -> (
+                        match channel_index g ~link_id:l_out ~from_switch:s with
+                        | None -> ()
+                        | Some c2 -> add_edge c1 c2))
+                  (next ~at:s ~in_port:(Some in_port) ~dst))
+              in_channels)
+        switches)
+    switches;
+  find_cycle g adj n

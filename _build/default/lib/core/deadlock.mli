@@ -1,0 +1,43 @@
+(** Channel-dependency-graph deadlock analysis.
+
+    With flow-controlled FIFOs and no packet discard, a routing function is
+    deadlock-free iff its channel dependency graph is acyclic (Dally &
+    Seitz).  Channels are the directed halves of each switch-to-switch
+    link; channel [c1] depends on [c2] when some forwarding-table entry
+    lets a packet that arrived over [c1] continue over [c2].  Host links
+    never appear in cycles: hosts do not forward, and Autonet host
+    controllers may not send [Stop], so a switch-to-host channel always
+    drains.
+
+    Up*/down* tables must always be acyclic (property-tested); the
+    unrestricted shortest-path baseline is generally not, which is
+    experiment E7. *)
+
+type channel = {
+  link : Graph.link_id;
+  from_switch : Graph.switch;
+  to_switch : Graph.switch;
+}
+
+val pp_channel : Format.formatter -> channel -> unit
+
+type result =
+  | Acyclic
+  | Cycle of channel list
+      (** A witness cycle: each channel depends on the next, and the last
+          on the first. *)
+
+val check_tables : Graph.t -> Tables.spec list -> result
+(** Analyze the dependencies induced by unicast (alternative-port) entries
+    of the given forwarding tables. *)
+
+val check_next_hops :
+  Graph.t ->
+  switches:Graph.switch list ->
+  next:(at:Graph.switch -> in_port:Graph.port option -> dst:Graph.switch -> Graph.port list) ->
+  result
+(** Generic form for routing functions not expressed as table specs: [next]
+    gives the candidate out-ports at [at] for packets bound to [dst] that
+    arrived on [in_port] ([None] for locally injected packets). *)
+
+val pp_result : Format.formatter -> result -> unit

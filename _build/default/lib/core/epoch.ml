@@ -1,0 +1,11 @@
+type t = int64
+
+let zero = 0L
+let next = Int64.succ
+let compare = Int64.compare
+let equal = Int64.equal
+let ( > ) a b = compare a b > 0
+let to_int64 t = t
+let of_int64 t = t
+let max a b = if compare a b >= 0 then a else b
+let pp ppf t = Format.fprintf ppf "epoch %Ld" t

@@ -1,0 +1,25 @@
+(** Reconfiguration epochs (paper section 6.6.2).
+
+    Every reconfiguration message carries a 64-bit epoch number.  A switch
+    initiating a reconfiguration increments its local epoch; switches join
+    any epoch greater than their own, abandoning the state of the earlier
+    one.  Because port-state changes during an epoch bump the epoch again,
+    each epoch operates on a fixed set of usable switch-to-switch links. *)
+
+type t
+
+val zero : t
+(** The epoch of a freshly powered-on switch. *)
+
+val next : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( > ) : t -> t -> bool
+
+val to_int64 : t -> int64
+val of_int64 : int64 -> t
+
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,154 @@
+type phase = Up | Down
+
+let equal_phase (a : phase) b = a = b
+
+let pp_phase ppf = function
+  | Up -> Format.pp_print_string ppf "up"
+  | Down -> Format.pp_print_string ppf "down"
+
+type t = {
+  graph : Graph.t;
+  updown : Updown.t;
+  n : int;
+  (* dist.(d).(state) = minimal legal hops from state to switch d, or -1.
+     A state encodes (switch, phase) as [2*switch + (0|1)]. *)
+  dist : int array array;
+}
+
+let state s = function Up -> 2 * s | Down -> (2 * s) + 1
+
+(* Legal forward moves out of (s, ph): (next switch, next phase, port, link). *)
+let moves g updown s ph =
+  List.filter_map
+    (fun (p, l_id, peer, _peer_port) ->
+      match Graph.link g l_id with
+      | None -> None
+      | Some l ->
+        if not (Updown.usable updown l_id) then None
+        else
+          let up_move = Updown.goes_up updown l ~from:s in
+          begin
+            match (ph, up_move) with
+            | Up, true -> Some (peer, Up, p, l_id)
+            | Up, false -> Some (peer, Down, p, l_id)
+            | Down, false -> Some (peer, Down, p, l_id)
+            | Down, true -> None
+          end)
+    (Graph.neighbors g s)
+
+let compute g tree updown =
+  let n = Graph.switch_count g in
+  (* Predecessor lists, built once: pred.(state) = states one legal move
+     before it. *)
+  let pred = Array.make (2 * n) [] in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun ph ->
+          List.iter
+            (fun (peer, ph', _p, _l) ->
+              pred.(state peer ph') <- state s ph :: pred.(state peer ph'))
+            (moves g updown s ph))
+        [ Up; Down ])
+    (Graph.switches g);
+  let dist = Array.make n [||] in
+  List.iter
+    (fun d ->
+      if Spanning_tree.mem tree d then begin
+        let dd = Array.make (2 * n) (-1) in
+        let queue = Queue.create () in
+        dd.(state d Up) <- 0;
+        dd.(state d Down) <- 0;
+        Queue.add (state d Up) queue;
+        Queue.add (state d Down) queue;
+        while not (Queue.is_empty queue) do
+          let st = Queue.pop queue in
+          List.iter
+            (fun st' ->
+              if dd.(st') < 0 then begin
+                dd.(st') <- dd.(st) + 1;
+                Queue.add st' queue
+              end)
+            pred.(st)
+        done;
+        dist.(d) <- dd
+      end)
+    (Graph.switches g);
+  { graph = g; updown; n; dist }
+
+let phase_of_arrival t ~at ~in_port =
+  if in_port = 0 then Up
+  else
+    match Graph.host_at t.graph (at, in_port) with
+    | Some _ -> Up
+    | None -> begin
+      match Graph.link_at t.graph (at, in_port) with
+      | None -> Up (* unconnected port: treat as an entry point *)
+      | Some l_id -> begin
+        match Updown.up_end t.updown l_id with
+        | None ->
+          invalid_arg "Routes.phase_of_arrival: port on an excluded link"
+        | Some up -> if up = at then Up else Down
+      end
+    end
+
+let distance_from t ~src ~phase ~dst =
+  if Array.length t.dist.(dst) = 0 then None
+  else
+    let d = t.dist.(dst).(state src phase) in
+    if d < 0 then None else Some d
+
+let distance t ~src ~dst = distance_from t ~src ~phase:Up ~dst
+
+let next_hops t ~at ~phase ~dst =
+  if at = dst then []
+  else if Array.length t.dist.(dst) = 0 then []
+  else
+    let dd = t.dist.(dst) in
+    let here = dd.(state at phase) in
+    if here < 0 then []
+    else
+      List.filter_map
+        (fun (peer, ph', p, l_id) ->
+          if dd.(state peer ph') = here - 1 then Some (p, l_id) else None)
+        (moves t.graph t.updown at phase)
+
+let all_next_hops t ~at ~phase ~dst =
+  if at = dst then []
+  else if Array.length t.dist.(dst) = 0 then []
+  else
+    let dd = t.dist.(dst) in
+    List.filter_map
+      (fun (peer, ph', p, l_id) ->
+        if dd.(state peer ph') >= 0 then Some (p, l_id) else None)
+      (moves t.graph t.updown at phase)
+
+let legal_route _t g updown path =
+  let rec step phase = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) ->
+      (* Find a link between a and b compatible with the phase. *)
+      let candidates =
+        List.filter_map
+          (fun (_, l_id, peer, _) ->
+            if peer = b && Updown.usable updown l_id then
+              match Graph.link g l_id with
+              | Some l -> Some (Updown.goes_up updown l ~from:a)
+              | None -> None
+            else None)
+          (Graph.neighbors g a)
+      in
+      let can_continue up_move =
+        match (phase, up_move) with
+        | Up, true -> Some Up
+        | Up, false | Down, false -> Some Down
+        | Down, true -> None
+      in
+      List.exists
+        (fun up_move ->
+          match can_continue up_move with
+          | Some ph' -> step ph' rest
+          | None -> false)
+        candidates
+  in
+  step Up path

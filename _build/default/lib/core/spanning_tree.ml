@@ -1,0 +1,153 @@
+open Autonet_net
+
+module Position = struct
+  type t = { root : Uid.t; level : int; parent : Uid.t; parent_port : int }
+
+  let root_position uid = { root = uid; level = 0; parent = uid; parent_port = 0 }
+
+  let compare a b =
+    let c = Uid.compare a.root b.root in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.level b.level in
+      if c <> 0 then c
+      else
+        let c = Uid.compare a.parent b.parent in
+        if c <> 0 then c else Int.compare a.parent_port b.parent_port
+
+  let better a b = compare a b < 0
+  let equal a b = compare a b = 0
+
+  let pp ppf { root; level; parent; parent_port } =
+    Format.fprintf ppf "(root=%a level=%d parent=%a port=%d)" Uid.pp root level
+      Uid.pp parent parent_port
+end
+
+type parent = {
+  link : Graph.link_id;
+  my_port : Graph.port;
+  parent_switch : Graph.switch;
+  parent_port : Graph.port;
+}
+
+type t = {
+  tree_root : Graph.switch;
+  tree_members : Graph.switch list;
+  levels : int array; (* indexed by switch; -1 for non-members *)
+  parents : parent option array;
+}
+
+let in_component g member =
+  List.find (fun comp -> List.mem member comp) (Graph.components g)
+
+let compute g ~member =
+  let comp = in_component g member in
+  let root =
+    List.fold_left
+      (fun best s ->
+        if Uid.compare (Graph.uid g s) (Graph.uid g best) < 0 then s else best)
+      (List.hd comp) comp
+  in
+  let n = Graph.switch_count g in
+  let levels = Array.make n (-1) in
+  let parents = Array.make n None in
+  (* Breadth-first levels from the root. *)
+  let queue = Queue.create () in
+  levels.(root) <- 0;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun (_, _, peer, _) ->
+        if levels.(peer) < 0 then begin
+          levels.(peer) <- levels.(v) + 1;
+          Queue.add peer queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  (* Parent selection: among neighbors one level up, smallest parent UID,
+     then smallest child-side port. [Graph.neighbors] ascends by local
+     port, so the first qualifying candidate wins the port tie. *)
+  List.iter
+    (fun s ->
+      if s <> root then begin
+        let best = ref None in
+        List.iter
+          (fun (my_port, link, peer, parent_port) ->
+            if levels.(peer) = levels.(s) - 1 then
+              let candidate = { link; my_port; parent_switch = peer; parent_port } in
+              match !best with
+              | None -> best := Some candidate
+              | Some cur ->
+                let c =
+                  Uid.compare (Graph.uid g peer) (Graph.uid g cur.parent_switch)
+                in
+                if c < 0 then best := Some candidate
+          )
+          (Graph.neighbors g s);
+        match !best with
+        | Some _ as p -> parents.(s) <- p
+        | None -> assert false (* levels form a BFS tree: a parent exists *)
+      end)
+    comp;
+  { tree_root = root; tree_members = comp; levels; parents }
+
+let compute_all g =
+  Graph.components g
+  |> List.map (fun comp -> compute g ~member:(List.hd comp))
+
+let root t = t.tree_root
+let members t = t.tree_members
+let mem t s = s >= 0 && s < Array.length t.levels && t.levels.(s) >= 0
+
+let level t s =
+  if not (mem t s) then invalid_arg "Spanning_tree.level: not a member";
+  t.levels.(s)
+
+let parent t s =
+  if not (mem t s) then invalid_arg "Spanning_tree.parent: not a member";
+  t.parents.(s)
+
+let children t s =
+  if not (mem t s) then invalid_arg "Spanning_tree.children: not a member";
+  List.filter_map
+    (fun child ->
+      match t.parents.(child) with
+      | Some p when p.parent_switch = s -> Some (p.parent_port, p.link, child)
+      | Some _ | None -> None)
+    (List.sort Int.compare t.tree_members)
+
+let is_tree_link t link_id =
+  List.exists
+    (fun s ->
+      match t.parents.(s) with
+      | Some p -> p.link = link_id
+      | None -> false)
+    t.tree_members
+
+let position t g s =
+  if not (mem t s) then invalid_arg "Spanning_tree.position: not a member";
+  let root_uid = Graph.uid g t.tree_root in
+  match t.parents.(s) with
+  | None -> Position.root_position root_uid
+  | Some p ->
+    { Position.root = root_uid;
+      level = t.levels.(s);
+      parent = Graph.uid g p.parent_switch;
+      parent_port = p.my_port }
+
+let depth t =
+  List.fold_left (fun acc s -> Stdlib.max acc t.levels.(s)) 0 t.tree_members
+
+let pp g ppf t =
+  Format.fprintf ppf "@[<v>spanning tree: root s%d (%a)@," t.tree_root Uid.pp
+    (Graph.uid g t.tree_root);
+  List.iter
+    (fun s ->
+      match t.parents.(s) with
+      | None -> Format.fprintf ppf "  s%d: root@," s
+      | Some p ->
+        Format.fprintf ppf "  s%d: level %d, parent s%d via p%d->p%d@," s
+          t.levels.(s) p.parent_switch p.my_port p.parent_port)
+    (List.sort Int.compare t.tree_members);
+  Format.fprintf ppf "@]"

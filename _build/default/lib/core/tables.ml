@@ -1,0 +1,188 @@
+open Autonet_net
+
+type entry = { broadcast : bool; ports : int list }
+
+let discard = { broadcast = true; ports = [] }
+
+let equal_entry a b = a.broadcast = b.broadcast && a.ports = b.ports
+
+let pp_entry ppf { broadcast; ports } =
+  Format.fprintf ppf "{%s [%s]}"
+    (if broadcast then "bcast" else "alt")
+    (String.concat ";" (List.map string_of_int ports))
+
+type spec = {
+  spec_switch : Graph.switch;
+  entries : (int * int, entry) Hashtbl.t; (* (in_port, address) -> entry *)
+}
+
+let switch t = t.spec_switch
+
+let lookup t ~in_port ~dst =
+  match Hashtbl.find_opt t.entries (in_port, Short_address.to_int dst) with
+  | Some e -> e
+  | None -> discard
+
+let entry_count t = Hashtbl.length t.entries
+
+let fold t ~init ~f =
+  (* Deterministic iteration order for printing and comparison. *)
+  let items =
+    Hashtbl.fold (fun (p, a) e acc -> ((p, a), e) :: acc) t.entries []
+    |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+  in
+  List.fold_left
+    (fun acc ((p, a), e) ->
+      f acc ~in_port:p ~dst:(Short_address.of_int a) e)
+    init items
+
+type route_mode = Minimal_routes | All_legal_routes
+
+(* The in-ports of a switch that can actually receive a packet: the control
+   processor, host ports, and ports on usable links. *)
+let receiving_ports g updown s =
+  let external_ports =
+    List.filter_map
+      (fun p ->
+        match Graph.host_at g (s, p) with
+        | Some _ -> Some p
+        | None -> (
+          match Graph.link_at g (s, p) with
+          | Some l_id when Updown.usable updown l_id -> Some p
+          | Some _ | None -> None))
+      (Graph.used_ports g s)
+  in
+  0 :: external_ports
+
+let is_host_port g s p = p <> 0 && Graph.host_at g (s, p) <> None
+
+let host_ports g s =
+  List.filter (fun p -> is_host_port g s p) (Graph.used_ports g s)
+
+let build ?(mode = Minimal_routes) g tree updown routes assignment s =
+  if not (Spanning_tree.mem tree s) then
+    invalid_arg "Tables.build: switch not in the configured component";
+  let entries = Hashtbl.create 256 in
+  let add ~in_port ~addr e =
+    if e.ports <> [] then
+      Hashtbl.replace entries (in_port, Short_address.to_int addr) e
+  in
+  let in_ports = receiving_ports g updown s in
+  let next_hops =
+    match mode with
+    | Minimal_routes -> Routes.next_hops routes
+    | All_legal_routes -> Routes.all_next_hops routes
+  in
+  (* --- Assigned unicast destinations. ---
+     Every port address of every member switch gets an entry at remote
+     switches (the route depends only on the destination switch), so a
+     host plugged in after this reconfiguration is already reachable from
+     afar; delivery at the destination switch itself happens only for the
+     control processor and the ports known to hold hosts ("if the address
+     is not in use the packet is discarded"). *)
+  List.iter
+    (fun d ->
+      let hosts_of_d = host_ports g d in
+      for q = 0 to Graph.max_ports g do
+        let addr = Address_assign.address assignment d q in
+        List.iter
+          (fun in_port ->
+            if s = d then begin
+              if q = 0 || List.mem q hosts_of_d then
+                add ~in_port ~addr { broadcast = false; ports = [ q ] }
+            end
+            else begin
+              let phase = Routes.phase_of_arrival routes ~at:s ~in_port in
+              let hops = next_hops ~at:s ~phase ~dst:d in
+              let ports = List.sort_uniq Int.compare (List.map fst hops) in
+              add ~in_port ~addr { broadcast = false; ports }
+            end)
+          in_ports
+      done)
+    (Spanning_tree.members tree);
+  (* --- Constant part: 0x0000, one-hop, loopback. --- *)
+  List.iter
+    (fun p ->
+      if is_host_port g s p then begin
+        add ~in_port:p ~addr:Short_address.local_switch
+          { broadcast = false; ports = [ 0 ] };
+        add ~in_port:p ~addr:Short_address.loopback
+          { broadcast = false; ports = [ p ] }
+      end)
+    in_ports;
+  for k = 1 to Graph.max_ports g do
+    let addr = Short_address.one_hop ~port:k in
+    List.iter
+      (fun in_port ->
+        if in_port = 0 then
+          (* From the control processor: out the numbered local port, when
+             that port is cabled to something that can hear us. *)
+          (match Graph.link_at g (s, k) with
+          | Some _ -> add ~in_port ~addr { broadcast = false; ports = [ k ] }
+          | None -> ())
+        else add ~in_port ~addr { broadcast = false; ports = [ 0 ] })
+      in_ports
+  done;
+  (* --- Broadcast flooding over the spanning tree. --- *)
+  let children_ports =
+    List.map (fun (p, _, _) -> p) (Spanning_tree.children tree s)
+  in
+  let parent_port =
+    match Spanning_tree.parent tree s with
+    | Some pr -> Some pr.my_port
+    | None -> None
+  in
+  let local_delivery addr_cls =
+    match addr_cls with
+    | `All -> 0 :: host_ports g s
+    | `Switches -> [ 0 ]
+    | `Hosts -> host_ports g s
+  in
+  let tree_child_port p = List.mem p children_ports in
+  List.iter
+    (fun (addr, cls) ->
+      List.iter
+        (fun in_port ->
+          let entry_ports =
+            if in_port = 0 || is_host_port g s in_port then
+              (* Origination: head for the root, or flood if we are it. *)
+              match parent_port with
+              | Some pp -> [ pp ]
+              | None -> children_ports @ local_delivery cls
+            else if tree_child_port in_port then
+              match parent_port with
+              | Some pp -> [ pp ]
+              | None ->
+                (* Root: flood down every child (including the arrival
+                   child, whose subtree has not seen the packet on the way
+                   down) plus local delivery. *)
+                children_ports @ local_delivery cls
+            else if parent_port = Some in_port then
+              children_ports @ local_delivery cls
+            else [] (* non-tree link: broadcasts never travel here *)
+          in
+          (* The sender receives its own broadcast too (at the root the
+             origination row includes the arrival port; elsewhere the copy
+             returns with the down-phase flood): hosts filter by UID, as
+             the paper's receiving-host rules require. *)
+          let ports = List.sort_uniq Int.compare entry_ports in
+          add ~in_port ~addr { broadcast = true; ports })
+        in_ports)
+    [ (Short_address.broadcast_all, `All);
+      (Short_address.broadcast_switches, `Switches);
+      (Short_address.broadcast_hosts, `Hosts) ];
+  { spec_switch = s; entries }
+
+let of_entries ~switch entries_list =
+  let entries = Hashtbl.create 64 in
+  List.iter
+    (fun ((p, a), e) ->
+      if e.ports <> [] then
+        Hashtbl.replace entries (p, Short_address.to_int a) e)
+    entries_list;
+  { spec_switch = switch; entries }
+
+let build_all ?mode g tree updown routes assignment =
+  List.map
+    (fun s -> build ?mode g tree updown routes assignment s)
+    (Spanning_tree.members tree)

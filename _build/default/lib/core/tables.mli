@@ -1,0 +1,65 @@
+(** Forwarding-table synthesis (paper sections 6.3 and 6.6.4).
+
+    A switch's forwarding table is indexed by the incoming port number
+    concatenated with the packet's destination short address; each entry
+    holds a port vector and a broadcast flag.  With [broadcast = false] the
+    vector lists {e alternative} ports (the switch sends on any free one,
+    preferring the lowest number); with [broadcast = true] it lists the
+    ports that must all forward the packet {e simultaneously}, and an empty
+    vector means discard.
+
+    This module renders the routing computed by {!Routes} into concrete
+    per-switch tables: minimal legal up*/down* routes for assigned unicast
+    addresses, the spanning-tree flood pattern for the broadcast addresses,
+    and the constant entries (local switch 0x0000, one-hop addresses,
+    loopback 0xFFFC) of the paper's address table.  Entries that would
+    forward from a "down" in-link to an "up" out-link are never generated,
+    so a corrupted address cannot produce an illegal route. *)
+
+open Autonet_net
+
+type entry = { broadcast : bool; ports : int list }
+(** [ports] always ascends.  A missing table entry means discard, as does
+    a broadcast entry with an empty vector. *)
+
+val discard : entry
+(** The all-zeroes broadcast entry. *)
+
+val equal_entry : entry -> entry -> bool
+val pp_entry : Format.formatter -> entry -> unit
+
+type spec
+
+val switch : spec -> Graph.switch
+
+val lookup : spec -> in_port:Graph.port -> dst:Short_address.t -> entry
+(** Missing entries come back as {!discard}. *)
+
+val entry_count : spec -> int
+
+val fold : spec -> init:'a -> f:('a -> in_port:Graph.port -> dst:Short_address.t -> entry -> 'a) -> 'a
+
+type route_mode =
+  | Minimal_routes  (** only minimal-length legal routes (paper's choice) *)
+  | All_legal_routes (** every legal continuation; ablation A1 *)
+
+val build :
+  ?mode:route_mode ->
+  Graph.t -> Spanning_tree.t -> Updown.t -> Routes.t -> Address_assign.t ->
+  Graph.switch -> spec
+(** The table for one member switch of the configured component. *)
+
+val of_entries :
+  switch:Graph.switch ->
+  ((Graph.port * Short_address.t) * entry) list ->
+  spec
+(** Assemble a spec from explicit entries: the escape hatch used by the
+    baseline routing schemes (spanning-tree-only and unrestricted
+    shortest-path) so that the same verification and simulation machinery
+    runs against them. *)
+
+val build_all :
+  ?mode:route_mode ->
+  Graph.t -> Spanning_tree.t -> Updown.t -> Routes.t -> Address_assign.t ->
+  spec list
+(** Tables for every member switch, ascending by switch index. *)

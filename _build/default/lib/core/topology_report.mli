@@ -1,0 +1,78 @@
+(** Topology descriptions carried by reconfiguration messages (paper
+    section 6.6.1, step 2).
+
+    As stability moves up the forming spanning tree, each switch's "I am
+    stable" message grows into a report describing the topology of its
+    stable subtree; the root ends up with the whole picture and floods it
+    back down.  A report records, per switch, its UID, the switch number it
+    proposes to keep, and what each port is cabled to — enough for every
+    switch to independently rebuild the graph and compute identical
+    forwarding tables. *)
+
+open Autonet_net
+
+type port_desc =
+  | Unused      (** nothing usable attached *)
+  | Host_port   (** a host controller port *)
+  | Switch_link of { peer : Uid.t; peer_port : int }
+
+val equal_port_desc : port_desc -> port_desc -> bool
+val pp_port_desc : Format.formatter -> port_desc -> unit
+
+type switch_desc = {
+  uid : Uid.t;
+  proposed_number : int;
+  ports : port_desc array;  (** index 1..max_ports; index 0 ignored *)
+}
+
+type t
+
+val max_ports : t -> int
+
+val singleton : max_ports:int -> switch_desc -> t
+
+val switch_desc :
+  uid:Uid.t -> proposed_number:int -> max_ports:int ->
+  (Graph.port * port_desc) list -> switch_desc
+(** Build a description from the ports that are in use. *)
+
+val merge : t -> t -> t
+(** Union by UID.  Raises [Invalid_argument] when the two reports disagree
+    about a switch they both describe. *)
+
+val switches : t -> switch_desc list
+(** Ascending by UID. *)
+
+val size : t -> int
+(** Number of switches described. *)
+
+val mem : t -> Uid.t -> bool
+
+val find : t -> Uid.t -> switch_desc option
+
+val proposals : t -> (Uid.t * int) list
+
+val closed : t -> bool
+(** Reference closure: every [Switch_link] in the report points at a switch
+    that is itself described and whose description reciprocates the link.
+    The true report of a connected component is always closed; a partially
+    accumulated one that is missing a switch is not, because the missing
+    switch's neighbours still describe their cables to it.  The
+    reconfiguration root refuses to conclude an epoch on a non-closed
+    report. *)
+
+val to_graph : t -> Graph.t
+(** Rebuild the physical graph: switches in UID order, links deduplicated
+    from their two endpoint descriptions, host ports attached with
+    synthetic host identities (the attached switch's UID; only the fact
+    that the port is a host port matters for routing). *)
+
+val equal : t -> t -> bool
+
+val encode : Wire.Writer.t -> t -> unit
+val decode : Wire.Reader.t -> t
+
+val encoded_size : t -> int
+(** Bytes of the wire encoding; used to cost report transmission. *)
+
+val pp : Format.formatter -> t -> unit

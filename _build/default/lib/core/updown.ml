@@ -1,0 +1,98 @@
+open Autonet_net
+
+type t = {
+  ups : Graph.switch option array; (* indexed by link id *)
+  n_links_at_orient : int;
+}
+
+let orient g tree =
+  let max_id =
+    List.fold_left (fun acc (l : Graph.link) -> Stdlib.max acc l.id) (-1) (Graph.links g)
+  in
+  let ups = Array.make (max_id + 1) None in
+  List.iter
+    (fun (l : Graph.link) ->
+      let sa, _ = l.a and sb, _ = l.b in
+      if (not (Graph.is_loop l)) && Spanning_tree.mem tree sa
+         && Spanning_tree.mem tree sb
+      then begin
+        let la = Spanning_tree.level tree sa
+        and lb = Spanning_tree.level tree sb in
+        let up =
+          if la < lb then sa
+          else if lb < la then sb
+          else if Uid.compare (Graph.uid g sa) (Graph.uid g sb) <= 0 then sa
+          else sb
+        in
+        ups.(l.id) <- Some up
+      end)
+    (Graph.links g);
+  { ups; n_links_at_orient = max_id + 1 }
+
+let up_end t id =
+  if id < 0 || id >= Array.length t.ups then None else t.ups.(id)
+
+let usable t id = up_end t id <> None
+
+let goes_up t (l : Graph.link) ~from =
+  match up_end t l.id with
+  | None -> invalid_arg "Updown.goes_up: link not in the configuration"
+  | Some up ->
+    let sa, _ = l.a and sb, _ = l.b in
+    if from <> sa && from <> sb then
+      invalid_arg "Updown.goes_up: switch not on this link";
+    (* Traversal moves toward the other end; it goes up iff the other end
+       is the up end.  Loop links never reach here. *)
+    let dest = if from = sa then sb else sa in
+    dest = up
+
+let usable_links t =
+  let acc = ref [] in
+  for id = Array.length t.ups - 1 downto 0 do
+    if t.ups.(id) <> None then acc := id :: !acc
+  done;
+  !acc
+
+let verify_acyclic g t =
+  (* DFS for a cycle in the digraph whose arcs point from the down end to
+     the up end of each usable link. *)
+  let n = Graph.switch_count g in
+  let adj = Array.make n [] in
+  List.iter
+    (fun id ->
+      match Graph.link g id with
+      | None -> ()
+      | Some l -> begin
+        match up_end t id with
+        | None -> ()
+        | Some up ->
+          let sa, _ = l.a and sb, _ = l.b in
+          let down = if up = sa then sb else sa in
+          adj.(down) <- up :: adj.(down)
+      end)
+    (usable_links t);
+  let state = Array.make n 0 (* 0 unvisited, 1 in progress, 2 done *) in
+  let rec has_cycle v =
+    if state.(v) = 1 then true
+    else if state.(v) = 2 then false
+    else begin
+      state.(v) <- 1;
+      let found = List.exists has_cycle adj.(v) in
+      state.(v) <- 2;
+      found
+    end
+  in
+  not (List.exists has_cycle (Graph.switches g))
+
+let pp g ppf t =
+  Format.fprintf ppf "@[<v>orientation:@,";
+  List.iter
+    (fun id ->
+      match (Graph.link g id, up_end t id) with
+      | Some l, Some up ->
+        let sa, pa = l.a and sb, pb = l.b in
+        Format.fprintf ppf "  link %d: s%d.p%d -- s%d.p%d, up end s%d@," id sa
+          pa sb pb up
+      | _, _ -> ())
+    (usable_links t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,58 @@
+(** Route verification by forwarding-table walking.
+
+    A pure interpreter of forwarding tables: packets are walked through the
+    table specs exactly as the switch hardware would forward them (lowest
+    numbered alternative port first), which lets tests and experiments
+    check the paper's routing goals — every host reachable, no loops, no
+    down-then-up hop, broadcast delivered everywhere exactly once — without
+    running the slot-level simulator. *)
+
+open Autonet_net
+
+type delivery = {
+  at_switch : Graph.switch;
+  out_port : Graph.port;  (** 0 = control processor, otherwise a host port *)
+}
+
+type outcome =
+  | Delivered of delivery
+  | Discarded of Graph.switch  (** reached this switch and hit a discard *)
+  | Looped                     (** exceeded the hop bound: a routing loop *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type net = {
+  graph : Graph.t;
+  specs : Tables.spec list;
+}
+
+val make : Graph.t -> Tables.spec list -> net
+
+val walk_unicast :
+  net -> from:Graph.endpoint -> dst:Short_address.t -> outcome * int
+(** Inject a packet into the network at the given switch port (a host port,
+    or port 0 for a control-processor source) and follow table entries,
+    taking the lowest-numbered alternative port at each hop.  Returns the
+    outcome and the number of switch-to-switch hops taken. *)
+
+val walk_unicast_random :
+  net -> rng:Autonet_sim.Rng.t -> from:Graph.endpoint -> dst:Short_address.t ->
+  outcome * int
+(** Like {!walk_unicast} but picks uniformly among the alternative ports,
+    exercising multipath spread. *)
+
+val flood_broadcast :
+  net -> from:Graph.endpoint -> dst:Short_address.t -> delivery list
+(** Follow a broadcast flood from the given source and return every
+    delivery point (sorted, duplicates preserved — a correct flood has no
+    duplicates). *)
+
+val all_hosts_reach_all :
+  net -> Address_assign.t -> (Graph.endpoint * Graph.endpoint) list
+(** Walk a packet between every ordered pair of host ports; returns the
+    pairs that failed to deliver (empty = the paper's reachability goal
+    holds). *)
+
+val no_down_then_up : net -> Updown.t -> bool
+(** Check the local enforcement rule: no table entry forwards from a
+    "down" in-link to an "up" out-link. *)

@@ -1,0 +1,1 @@
+lib/dataplane/flit_sim.ml: Array Autonet_core Autonet_net Autonet_switch Channel Command Fifo Float Graph Hashtbl List Printf Queue Short_address Tables

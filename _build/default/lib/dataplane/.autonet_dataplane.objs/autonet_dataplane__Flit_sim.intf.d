@@ -1,0 +1,1 @@
+lib/dataplane/flit_sim.mli: Autonet_core Autonet_net Graph Short_address Tables

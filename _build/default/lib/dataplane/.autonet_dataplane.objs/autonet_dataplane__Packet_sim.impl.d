@@ -1,0 +1,1 @@
+lib/dataplane/packet_sim.ml: Array Autonet_core Autonet_net Autonet_sim Autonet_switch Command Graph Hashtbl List Packet Printf

@@ -1,0 +1,1 @@
+lib/dataplane/packet_sim.mli: Autonet_core Autonet_net Autonet_sim Autonet_switch Graph Packet

@@ -1,0 +1,1 @@
+lib/host/arp.ml: Autonet_net Eth Format Uid Wire

@@ -1,0 +1,1 @@
+lib/host/arp.mli: Autonet_net Eth Format Uid

@@ -1,0 +1,1 @@
+lib/host/bridge.ml: Autonet_net Autonet_sim Eth Packet Queue Short_address Uid Uid_cache Wire

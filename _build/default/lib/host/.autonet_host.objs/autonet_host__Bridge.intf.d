@@ -1,0 +1,1 @@
+lib/host/bridge.mli: Autonet_net Autonet_sim Eth Packet Uid Uid_cache

@@ -1,0 +1,1 @@
+lib/host/crypto.ml: Autonet_net Autonet_sim Char Int64 Packet String Wire

@@ -1,0 +1,1 @@
+lib/host/driver.ml: Autonet_autopilot Autonet_core Autonet_net Autonet_sim Graph Short_address Uid Wire

@@ -1,0 +1,1 @@
+lib/host/localnet.ml: Arp Autonet_net Autonet_sim Crypto Eth Hashtbl Packet Short_address Uid Uid_cache Wire

@@ -1,0 +1,1 @@
+lib/host/localnet.mli: Autonet_net Autonet_sim Crypto Eth Packet Short_address Uid Uid_cache

@@ -1,0 +1,1 @@
+lib/host/uid_cache.ml: Autonet_net Autonet_sim Hashtbl List Option Short_address Uid

@@ -1,0 +1,1 @@
+lib/host/uid_cache.mli: Autonet_net Autonet_sim Short_address Uid

@@ -1,0 +1,32 @@
+open Autonet_net
+
+type t = Request of { target : Uid.t } | Reply | Announce
+
+let ethertype = 0x0806
+
+let to_eth ~src ~dst t =
+  let w = Wire.Writer.create () in
+  (match t with
+  | Request { target } ->
+    Wire.Writer.u8 w 1;
+    Wire.Writer.u48 w (Uid.to_int target)
+  | Reply -> Wire.Writer.u8 w 2
+  | Announce -> Wire.Writer.u8 w 3);
+  Eth.make ~dst ~src ~ethertype ~payload:(Wire.Writer.contents w)
+
+let of_eth (e : Eth.t) =
+  if e.ethertype <> ethertype then None
+  else
+    try
+      let r = Wire.Reader.of_string e.payload in
+      match Wire.Reader.u8 r with
+      | 1 -> Some (Request { target = Uid.of_int (Wire.Reader.u48 r) })
+      | 2 -> Some Reply
+      | 3 -> Some Announce
+      | _ -> None
+    with Wire.Truncated | Wire.Malformed _ -> None
+
+let pp ppf = function
+  | Request { target } -> Format.fprintf ppf "arp-request(%a)" Uid.pp target
+  | Reply -> Format.pp_print_string ppf "arp-reply"
+  | Announce -> Format.pp_print_string ppf "arp-announce"

@@ -1,0 +1,23 @@
+(** Address Resolution Protocol over Autonet (paper section 6.8.1).
+
+    LocalNet resolves 48-bit UIDs to Autonet short addresses mostly by
+    listening; when it must ask, it sends one of these, carried as an
+    Ethernet datagram with the ARP ethertype inside a client Autonet
+    packet.  An ARP reply's Autonet header carries the responder's correct
+    source short address, which is what the requester learns from. *)
+
+open Autonet_net
+
+type t =
+  | Request of { target : Uid.t }
+  | Reply   (** all the information is in the enclosing packet's header *)
+  | Announce (** gratuitous: broadcast after a short-address change *)
+
+val ethertype : int
+(** 0x0806. *)
+
+val to_eth : src:Uid.t -> dst:Uid.t -> t -> Eth.t
+val of_eth : Eth.t -> t option
+(** [None] when the frame is not ARP or is malformed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,157 @@
+open Autonet_net
+module Engine = Autonet_sim.Engine
+module Time = Autonet_sim.Time
+
+type costs = {
+  cpu_forward : Time.t;
+  cpu_discard : Time.t;
+  bus_ns_per_byte : int;
+  queue_limit : int;
+}
+
+(* Calibrated to the paper's envelope: ~5000 small discards/s, ~1000 small
+   forwards/s, 200-300 maximal-size forwards/s, ~1 ms small-packet
+   latency. *)
+let default_costs =
+  { cpu_forward = Time.us 900;
+    cpu_discard = Time.us 190;
+    bus_ns_per_byte = 1300;
+    queue_limit = 64 }
+
+type side = From_autonet | From_ethernet
+
+type job = {
+  j_side : side;
+  j_eth : Eth.t;
+  j_src_addr : Short_address.t option;
+  j_encrypted : bool;
+}
+
+type stats = {
+  forwarded_to_ethernet : int;
+  forwarded_to_autonet : int;
+  discarded : int;
+  dropped_overload : int;
+  refused_oversize : int;
+  refused_encrypted : int;
+}
+
+type t = {
+  engine : Engine.t;
+  costs : costs;
+  uid : Uid.t;
+  to_autonet : Eth.t -> unit;
+  to_ethernet : Eth.t -> unit;
+  uid_cache : Uid_cache.t;
+  queue : job Queue.t;
+  mutable busy : bool;
+  mutable st : stats;
+}
+
+let create ~engine ?(costs = default_costs) ~bridge_uid ~to_autonet ~to_ethernet
+    () =
+  { engine;
+    costs;
+    uid = bridge_uid;
+    to_autonet;
+    to_ethernet;
+    uid_cache = Uid_cache.create ();
+    queue = Queue.create ();
+    busy = false;
+    st =
+      { forwarded_to_ethernet = 0;
+        forwarded_to_autonet = 0;
+        discarded = 0;
+        dropped_overload = 0;
+        refused_oversize = 0;
+        refused_encrypted = 0 } }
+
+let cache t = t.uid_cache
+let stats t = t.st
+let queue_length t = Queue.length t.queue
+
+let bus_cost t bytes = Time.ns (2 * bytes * t.costs.bus_ns_per_byte)
+
+(* Should a datagram arriving on [side] cross the bridge?  Forward when the
+   destination is (or might be) on the other side; discard when it is known
+   to live on the arrival side. *)
+let decide t side (eth : Eth.t) =
+  if Uid.equal eth.Eth.dst t.uid then `Discard (* addressed to the bridge *)
+  else if Uid.equal eth.Eth.dst Eth.broadcast_uid then `Forward
+  else
+    match Uid_cache.network_of t.uid_cache eth.Eth.dst with
+    | Some Uid_cache.Autonet ->
+      if side = From_autonet then `Discard else `Forward
+    | Some Uid_cache.Ethernet ->
+      if side = From_ethernet then `Discard else `Forward
+    | None -> `Forward (* location unknown: flood across, like a bridge *)
+
+let execute t job =
+  match decide t job.j_side job.j_eth with
+  | `Discard ->
+    t.st <- { t.st with discarded = t.st.discarded + 1 };
+    t.costs.cpu_discard
+  | `Forward ->
+    if job.j_encrypted then begin
+      (* "It refuses to forward encrypted packets." *)
+      t.st <- { t.st with refused_encrypted = t.st.refused_encrypted + 1 };
+      t.costs.cpu_discard
+    end
+    else if Eth.size job.j_eth > Eth.header_bytes + Eth.max_ethernet_payload then begin
+      t.st <- { t.st with refused_oversize = t.st.refused_oversize + 1 };
+      t.costs.cpu_discard
+    end
+    else begin
+      (match job.j_side with
+      | From_autonet ->
+        t.st <-
+          { t.st with forwarded_to_ethernet = t.st.forwarded_to_ethernet + 1 };
+        t.to_ethernet job.j_eth
+      | From_ethernet ->
+        t.st <-
+          { t.st with forwarded_to_autonet = t.st.forwarded_to_autonet + 1 };
+        t.to_autonet job.j_eth);
+      Time.max t.costs.cpu_forward (bus_cost t (Eth.size job.j_eth))
+    end
+
+let rec pump t =
+  match Queue.take_opt t.queue with
+  | None -> t.busy <- false
+  | Some job ->
+    t.busy <- true;
+    let cost = execute t job in
+    ignore (Engine.schedule t.engine ~delay:cost (fun () -> pump t))
+
+let enqueue t job =
+  (* Learn the source location first — even dropped packets teach. *)
+  (match job.j_side with
+  | From_autonet -> (
+    match job.j_src_addr with
+    | Some a ->
+      Uid_cache.learn ~network:Uid_cache.Autonet t.uid_cache
+        ~uid:job.j_eth.Eth.src ~address:a ~now:(Engine.now t.engine)
+    | None -> ())
+  | From_ethernet ->
+    Uid_cache.learn ~network:Uid_cache.Ethernet t.uid_cache
+      ~uid:job.j_eth.Eth.src ~address:Short_address.broadcast_hosts
+      ~now:(Engine.now t.engine));
+  if Queue.length t.queue >= t.costs.queue_limit then
+    t.st <- { t.st with dropped_overload = t.st.dropped_overload + 1 }
+  else begin
+    Queue.add job t.queue;
+    if not t.busy then pump t
+  end
+
+let from_autonet t (p : Packet.t) =
+  match Packet.eth_of_client p with
+  | exception (Wire.Malformed _ | Wire.Truncated) -> ()
+  | eth ->
+    enqueue t
+      { j_side = From_autonet;
+        j_eth = eth;
+        j_src_addr = Some p.Packet.src;
+        j_encrypted = Packet.is_encrypted p }
+
+let from_ethernet t eth =
+  enqueue t
+    { j_side = From_ethernet; j_eth = eth; j_src_addr = None; j_encrypted = false }

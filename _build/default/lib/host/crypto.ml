@@ -1,0 +1,39 @@
+open Autonet_net
+
+type key = { secret : int64; id : int }
+
+let key_of_secret secret =
+  (* The identifier is a public fingerprint of the secret. *)
+  let g = Autonet_sim.Rng.create ~seed:secret in
+  { secret; id = Int64.to_int (Int64.logand (Autonet_sim.Rng.next64 g) 0x7FFF_FFFFL) }
+
+let key_id k = k.id
+
+let keystream k len =
+  let g = Autonet_sim.Rng.create ~seed:(Int64.add k.secret 0x5EEDL) in
+  String.init len (fun _ ->
+      Char.chr (Int64.to_int (Int64.logand (Autonet_sim.Rng.next64 g) 0xFFL)))
+
+let xor_with s pad =
+  String.init (String.length s) (fun i ->
+      Char.chr (Char.code s.[i] lxor Char.code pad.[i]))
+
+let encrypt k s = xor_with s (keystream k (String.length s))
+let decrypt = encrypt
+
+let header k =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u8 w 1; (* encrypted marker *)
+  Wire.Writer.u32 w k.id;
+  Wire.Writer.string w (String.make (Packet.encryption_info_bytes - 5) '\000');
+  Wire.Writer.contents w
+
+let key_id_of_header h =
+  if String.length h <> Packet.encryption_info_bytes then None
+  else if h.[0] <> '\001' then None
+  else
+    try
+      let r = Wire.Reader.of_string h in
+      let (_ : int) = Wire.Reader.u8 r in
+      Some (Wire.Reader.u32 r)
+    with Wire.Truncated -> None

@@ -1,0 +1,32 @@
+(** Integrated encryption (paper sections 3.10 and 6.8).
+
+    The Q-bus controller carried a pipelined AMD 8068 cipher so that
+    "encrypted packets can be sent and received with no performance
+    penalty"; the switches never look at anything but the destination
+    short address, so encryption is purely host-to-host.  The paper defers
+    the key-management details ("a complete description awaits
+    experience"), so this module provides an honest stand-in with the same
+    architectural properties: a symmetric keystream cipher keyed by a
+    shared secret, a 26-byte header identifying the key, and zero added
+    latency in the data-path models (the pipeline runs at line rate).
+
+    The keystream is splitmix64-based: adequate for exercising the system,
+    explicitly {e not} cryptography for the real world. *)
+
+type key
+
+val key_of_secret : int64 -> key
+
+val key_id : key -> int
+(** 32-bit identifier carried in the encryption header. *)
+
+val encrypt : key -> string -> string
+val decrypt : key -> string -> string
+(** Involution: [decrypt k (encrypt k s) = s]; decrypting with the wrong
+    key yields garbage, detected by the packet CRC or higher layers. *)
+
+val header : key -> string
+(** The 26-byte encryption-information field announcing this key. *)
+
+val key_id_of_header : string -> int option
+(** [None] for the cleartext (all-zero) header or a malformed one. *)

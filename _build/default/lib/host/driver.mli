@@ -1,0 +1,61 @@
+(** The Autonet host driver: alternate-link management (paper section
+    6.8.3).
+
+    The driver owns the controller's two network ports.  In normal
+    operation it confirms its short address with the local switch every
+    probe interval; if the switch stops answering for [fail_after] it
+    adopts the alternate port, forgets its short address, and queries the
+    new switch; if that switch stays silent for [give_up_after] it switches
+    back, ping-ponging until some switch answers — exactly the paper's
+    3-second / 10-second behaviour, with the timeouts configurable because
+    the paper says they were being reduced. *)
+
+open Autonet_net
+open Autonet_core
+
+type timeouts = {
+  probe_interval : Autonet_sim.Time.t;        (** normal address confirmation *)
+  urgent_probe_interval : Autonet_sim.Time.t; (** while chasing a silent switch *)
+  fail_after : Autonet_sim.Time.t;            (** silence before failover (3 s) *)
+  give_up_after : Autonet_sim.Time.t;         (** silence before switching back (10 s) *)
+}
+
+val default_timeouts : timeouts
+
+type t
+
+val create :
+  fabric:Autonet_autopilot.Fabric.t ->
+  ?timeouts:timeouts ->
+  host_uid:Uid.t ->
+  primary:Graph.endpoint ->
+  ?alternate:Graph.endpoint ->
+  unit ->
+  t
+
+val start : t -> unit
+val stop : t -> unit
+
+val active : t -> Graph.endpoint
+val is_active : t -> Graph.endpoint -> bool
+
+val address : t -> Short_address.t option
+(** Our current short address; [None] while unconfirmed. *)
+
+val force_switch : t -> unit
+(** The client-requested link switch of the paper ("the alternate link can
+    be tested ... before it is needed"). *)
+
+val set_on_address : t -> (Short_address.t option -> unit) -> unit
+(** Fires on every address change, including loss.  Wire this to
+    {!Localnet.announce_address_change}. *)
+
+type stats = {
+  failovers : int;
+  queries_sent : int;
+  last_outage : Autonet_sim.Time.t option;
+      (** duration of the most recent address-less period *)
+  total_outage : Autonet_sim.Time.t;
+}
+
+val stats : t -> stats

@@ -1,0 +1,66 @@
+(** LocalNet: the generic UID-addressed LAN layer (paper sections 3.11 and
+    6.8.1).
+
+    Clients hand it Ethernet datagrams addressed by UID; it supplies the
+    Autonet header, learns UID-to-short-address mappings from everything
+    that arrives, asks with directed ARP when an entry goes stale, falls
+    back to broadcast when the destination is unknown, answers ARP
+    requests, and announces its own short-address changes.  The misdirected
+    and multicast filtering that the paper assigns to the receiving host
+    happens here too. *)
+
+open Autonet_net
+
+type t
+
+val create :
+  engine:Autonet_sim.Engine.t ->
+  host_uid:Uid.t ->
+  transmit:(Packet.t -> unit) ->
+  my_address:(unit -> Short_address.t option) ->
+  unit ->
+  t
+(** [transmit] hands a finished Autonet packet to the controller;
+    [my_address] asks the driver for the current short address (None while
+    unconfigured or during failover). *)
+
+val host_uid : t -> Uid.t
+val cache : t -> Uid_cache.t
+
+val set_peer_key : t -> peer:Uid.t -> Crypto.key -> unit
+(** Install a shared key for a peer: datagrams to it are encrypted in the
+    controller pipeline (no latency penalty) and arriving packets under
+    that key are decrypted.  Broadcasts are never encrypted. *)
+
+val send : t -> Eth.t -> bool
+(** Send a client datagram.  Returns false when it had to be dropped (no
+    short address of our own yet, or an oversized packet to an unknown
+    destination — in which case an ARP request goes out in its place, as
+    in the paper). *)
+
+val on_packet : t -> Packet.t -> unit
+(** Feed every packet the controller receives. *)
+
+val set_client_rx : t -> (Eth.t -> unit) -> unit
+(** Datagrams for this host (ARP traffic is consumed internally). *)
+
+val announce_address_change : t -> unit
+(** Broadcast a gratuitous ARP so peers update their caches immediately
+    (the paper's mitigation for address changes after reconfiguration). *)
+
+type stats = {
+  client_sent : int;
+  client_received : int;
+  broadcast_data_sent : int;   (** data packets that had to use 0xFFFF *)
+  arp_requests_sent : int;
+  arp_replies_sent : int;
+  announcements_sent : int;
+  misaddressed_dropped : int;
+  dropped_no_address : int;
+  encrypted_sent : int;
+  encrypted_received : int;
+  undecryptable_dropped : int;
+      (** encrypted packets arriving under a key we do not hold *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/net/channel.ml: Array Command

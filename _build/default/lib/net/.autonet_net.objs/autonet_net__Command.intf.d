@@ -1,0 +1,1 @@
+lib/net/command.mli: Format

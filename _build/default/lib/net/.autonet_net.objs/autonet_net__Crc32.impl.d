@@ -1,0 +1,1 @@
+lib/net/crc32.ml: Array Char Int32 Lazy String

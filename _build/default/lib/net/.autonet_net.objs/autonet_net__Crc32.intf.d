@@ -1,0 +1,1 @@
+lib/net/crc32.mli:

@@ -1,0 +1,1 @@
+lib/net/eth.ml: Format String Uid Wire

@@ -1,0 +1,1 @@
+lib/net/eth.mli: Format Uid Wire

@@ -1,0 +1,1 @@
+lib/net/packet.ml: Crc32 Eth Format Int32 Short_address String Wire

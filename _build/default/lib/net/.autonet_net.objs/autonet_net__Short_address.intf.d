@@ -1,0 +1,1 @@
+lib/net/short_address.mli: Format

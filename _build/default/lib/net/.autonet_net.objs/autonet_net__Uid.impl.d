@@ -1,0 +1,1 @@
+lib/net/uid.ml: Autonet_sim Format Int Int64 Map Printf Set Stdlib

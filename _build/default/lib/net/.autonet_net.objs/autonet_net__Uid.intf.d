@@ -1,0 +1,1 @@
+lib/net/uid.mli: Autonet_sim Format Map Set

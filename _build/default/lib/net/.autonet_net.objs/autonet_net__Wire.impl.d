@@ -1,0 +1,1 @@
+lib/net/wire.ml: Buffer Char Int64 List Printf String

@@ -1,0 +1,22 @@
+type 'a t = {
+  pipe : 'a array;
+  mutable pos : int; (* next cell to read (and then overwrite) *)
+}
+
+let create ~delay_slots ~idle =
+  if delay_slots < 1 then invalid_arg "Channel.create: delay must be >= 1";
+  { pipe = Array.make delay_slots idle; pos = 0 }
+
+let delay_slots t = Array.length t.pipe
+
+let tick t ~input =
+  let out = t.pipe.(t.pos) in
+  t.pipe.(t.pos) <- input;
+  t.pos <- (t.pos + 1) mod Array.length t.pipe;
+  out
+
+let delay_of_length_km l =
+  if l < 0.0 then invalid_arg "Channel.delay_of_length_km: negative length";
+  max 1 (int_of_float (ceil (Command.slots_per_km *. l)))
+
+let fill t slot = Array.fill t.pipe 0 (Array.length t.pipe) slot

@@ -1,0 +1,27 @@
+(** A unidirectional link channel as a fixed slot-delay pipeline.
+
+    The slot-level simulator advances all channels one 80 ns slot per tick:
+    the transmitter pushes one slot in and the slot that entered
+    [delay_slots] ticks ago emerges at the receiver.  Propagation delay for
+    a cable of length L km is [ceil (64.1 * L)] slots (paper section 6.2).
+    The slot type is abstract; [idle] fills the pipeline initially. *)
+
+type 'a t
+
+val create : delay_slots:int -> idle:'a -> 'a t
+(** [delay_slots] must be at least 1 — even a zero-length cable delivers a
+    slot one tick after transmission. *)
+
+val delay_slots : 'a t -> int
+
+val tick : 'a t -> input:'a -> 'a
+(** Push [input] into the transmit end and return the slot arriving at the
+    receive end this tick.  A freshly created channel emits [idle] until
+    real slots propagate through. *)
+
+val delay_of_length_km : float -> int
+(** Propagation delay in slots for a cable of the given length. *)
+
+val fill : 'a t -> 'a -> unit
+(** Overwrite the whole pipeline, e.g. to model a link that was carrying
+    only sync before the simulation window. *)

@@ -1,0 +1,27 @@
+(* Table-driven reflected CRC-32 with polynomial 0xEDB88320 (the bit-reversed
+   IEEE 802.3 polynomial). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let init = 0xFFFFFFFFl
+let finalize c = Int32.logxor c 0xFFFFFFFFl
+
+let update crc s ~pos ~len =
+  let table = Lazy.force table in
+  let c = ref crc in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl) in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  !c
+
+let string s = finalize (update init s ~pos:0 ~len:(String.length s))

@@ -1,0 +1,18 @@
+(** CRC-32 (IEEE 802.3 polynomial).
+
+    Autonet controllers generate and check a CRC on every packet; switches
+    forward packets without touching it, and the switch control processor
+    checks CRCs in software (paper sections 5.1-5.2).  The paper reserves an
+    8-byte trailer; we store the 32-bit CRC in the low half, matching the
+    Ethernet polynomial actually used by the Xilinx 3020 on the Q-bus
+    controller. *)
+
+val string : string -> int32
+(** CRC of a whole string. *)
+
+val update : int32 -> string -> pos:int -> len:int -> int32
+(** Incremental interface: feed a chunk into a running CRC.  Start from
+    {!init} and finish with {!finalize}. *)
+
+val init : int32
+val finalize : int32 -> int32

@@ -1,0 +1,36 @@
+type t = { dst : Uid.t; src : Uid.t; ethertype : int; payload : string }
+
+let make ~dst ~src ~ethertype ~payload =
+  if ethertype < 0 || ethertype > 0xFFFF then
+    invalid_arg "Eth.make: ethertype out of range";
+  { dst; src; ethertype; payload }
+
+let broadcast_uid = Uid.of_int 0xFFFF_FFFF_FFFF
+
+let max_ethernet_payload = 1500
+
+let header_bytes = 14
+
+let size t = header_bytes + String.length t.payload
+
+let equal a b =
+  Uid.equal a.dst b.dst && Uid.equal a.src b.src
+  && a.ethertype = b.ethertype
+  && String.equal a.payload b.payload
+
+let pp ppf t =
+  Format.fprintf ppf "eth{%a -> %a type=%04x len=%d}" Uid.pp t.src Uid.pp t.dst
+    t.ethertype (String.length t.payload)
+
+let encode w t =
+  Wire.Writer.u48 w (Uid.to_int t.dst);
+  Wire.Writer.u48 w (Uid.to_int t.src);
+  Wire.Writer.u16 w t.ethertype;
+  Wire.Writer.string w t.payload
+
+let decode r =
+  let dst = Uid.of_int (Wire.Reader.u48 r) in
+  let src = Uid.of_int (Wire.Reader.u48 r) in
+  let ethertype = Wire.Reader.u16 r in
+  let payload = Wire.Reader.take r (Wire.Reader.remaining r) in
+  { dst; src; ethertype; payload }

@@ -1,0 +1,33 @@
+(** Encapsulated Ethernet datagrams.
+
+    The LocalNet layer carries Ethernet datagrams over both Ethernet and
+    Autonet (paper section 3.11); an Autonet client packet is a 32-byte
+    Autonet header followed by one of these frames. *)
+
+type t = {
+  dst : Uid.t;       (** destination UID (48-bit Ethernet address) *)
+  src : Uid.t;       (** source UID *)
+  ethertype : int;   (** 16-bit Ethernet type field *)
+  payload : string;
+}
+
+val make : dst:Uid.t -> src:Uid.t -> ethertype:int -> payload:string -> t
+
+val broadcast_uid : Uid.t
+(** The all-ones Ethernet broadcast address. *)
+
+val max_ethernet_payload : int
+(** 1500 bytes: the limit for broadcast packets and anything bridged to an
+    Ethernet. *)
+
+val header_bytes : int
+(** Size of the encapsulated Ethernet header (14 bytes). *)
+
+val size : t -> int
+(** Header plus payload length. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val encode : Wire.Writer.t -> t -> unit
+val decode : Wire.Reader.t -> t

@@ -1,0 +1,64 @@
+type 'a t = {
+  cells : 'a array;
+  cap : int;
+  stop_level : int; (* occupancy above which Stop is asserted *)
+  mutable head : int; (* index of the oldest cell *)
+  mutable size : int;
+  mutable overflow : bool;
+  mutable high_water : int;
+}
+
+let create ?(threshold_free_fraction = 0.5) ~capacity ~zero () =
+  if capacity <= 0 then invalid_arg "Fifo.create: capacity must be positive";
+  if threshold_free_fraction <= 0.0 || threshold_free_fraction > 1.0 then
+    invalid_arg "Fifo.create: threshold fraction out of (0, 1]";
+  let stop_level =
+    int_of_float (Float.round ((1.0 -. threshold_free_fraction) *. float_of_int capacity))
+  in
+  { cells = Array.make capacity zero;
+    cap = capacity;
+    stop_level;
+    head = 0;
+    size = 0;
+    overflow = false;
+    high_water = 0 }
+
+let capacity t = t.cap
+let occupancy t = t.size
+let is_empty t = t.size = 0
+
+let push t slot =
+  if t.size = t.cap then t.overflow <- true
+  else begin
+    let tail = (t.head + t.size) mod t.cap in
+    t.cells.(tail) <- slot;
+    t.size <- t.size + 1;
+    if t.size > t.high_water then t.high_water <- t.size
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let slot = t.cells.(t.head) in
+    t.head <- (t.head + 1) mod t.cap;
+    t.size <- t.size - 1;
+    Some slot
+  end
+
+let peek t = if t.size = 0 then None else Some t.cells.(t.head)
+
+let peek_at t i =
+  if i < 0 || i >= t.size then None
+  else Some t.cells.((t.head + i) mod t.cap)
+
+let above_threshold t = t.size > t.stop_level
+
+let overflowed t = t.overflow
+let clear_overflow t = t.overflow <- false
+
+let max_occupancy t = t.high_water
+let reset_stats t = t.high_water <- t.size
+
+let clear t =
+  t.head <- 0;
+  t.size <- 0

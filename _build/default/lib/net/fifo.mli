@@ -1,0 +1,52 @@
+(** A bounded FIFO with a flow-control threshold.
+
+    Models the receive FIFO of a link unit (paper sections 3.5 and 6.2):
+    each switch port buffers arriving slots in a FIFO of [capacity] cells.
+    When occupancy exceeds [(1 - f) * capacity] — "more than half full" for
+    the paper's f = 0.5 — the port's reverse channel carries [Stop]
+    directives; below the threshold it carries [Start].  The high-water
+    mark is recorded so that experiments can validate the paper's
+    FIFO-sizing formula.
+
+    The cell type is abstract so that the slot-level simulator can store
+    its own annotated slots; [zero] is a throwaway value used to
+    initialize storage. *)
+
+type 'a t
+
+val create : ?threshold_free_fraction:float -> capacity:int -> zero:'a -> unit -> 'a t
+(** [threshold_free_fraction] is the paper's [f] (default 0.5): the
+    fraction of the FIFO that must remain free when [Stop] is first
+    asserted. *)
+
+val capacity : 'a t -> int
+val occupancy : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append a cell.  Pushing into a full FIFO sets the overflow flag and
+    drops the cell — mirroring the hardware's [Overflow] status bit rather
+    than crashing the simulation. *)
+
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+
+val peek_at : 'a t -> int -> 'a option
+(** [peek_at t i] looks [i] cells behind the head (0 = head); used by the
+    link unit to capture the address bytes of the packet at the head of
+    the FIFO without consuming them. *)
+
+val above_threshold : 'a t -> bool
+(** True when occupancy strictly exceeds [(1 - f) * capacity]: the reverse
+    channel must carry [Stop]. *)
+
+val overflowed : 'a t -> bool
+val clear_overflow : 'a t -> unit
+
+val max_occupancy : 'a t -> int
+(** High-water mark since creation (or the last {!reset_stats}). *)
+
+val reset_stats : 'a t -> unit
+
+val clear : 'a t -> unit
+(** Discard all contents (link-unit reset). *)

@@ -1,0 +1,105 @@
+type typ = Client | Reconfiguration | Srp | Connectivity | Other of int
+
+let typ_to_int = function
+  | Client -> 1
+  | Reconfiguration -> 2
+  | Srp -> 3
+  | Connectivity -> 4
+  | Other n -> n
+
+let typ_of_int = function
+  | 1 -> Client
+  | 2 -> Reconfiguration
+  | 3 -> Srp
+  | 4 -> Connectivity
+  | n -> Other n
+
+let equal_typ a b = typ_to_int a = typ_to_int b
+
+let pp_typ ppf t =
+  match t with
+  | Client -> Format.pp_print_string ppf "client"
+  | Reconfiguration -> Format.pp_print_string ppf "reconfig"
+  | Srp -> Format.pp_print_string ppf "srp"
+  | Connectivity -> Format.pp_print_string ppf "connectivity"
+  | Other n -> Format.fprintf ppf "other(%d)" n
+
+type t = {
+  dst : Short_address.t;
+  src : Short_address.t;
+  typ : typ;
+  enc_info : string;
+  body : string;
+}
+
+let encryption_info_bytes = 26
+let cleartext_info = String.make encryption_info_bytes '\000'
+
+let make ?(enc_info = cleartext_info) ~dst ~src ~typ ~body () =
+  if String.length enc_info <> encryption_info_bytes then
+    invalid_arg "Packet.make: encryption info must be 26 bytes";
+  { dst; src; typ; enc_info; body }
+
+let is_encrypted t = not (String.equal t.enc_info cleartext_info)
+
+let client ?enc_info ~dst ~src eth =
+  let w = Wire.Writer.create () in
+  Eth.encode w eth;
+  make ?enc_info ~dst ~src ~typ:Client ~body:(Wire.Writer.contents w) ()
+
+let eth_of_client t =
+  if not (equal_typ t.typ Client) then
+    raise (Wire.Malformed "eth_of_client: not a client packet");
+  (try Eth.decode (Wire.Reader.of_string t.body)
+   with Wire.Truncated -> raise (Wire.Malformed "eth_of_client: short body"))
+
+let header_bytes = 2 + 2 + 2 + encryption_info_bytes
+let trailer_bytes = 8
+
+let wire_size t = header_bytes + String.length t.body + trailer_bytes
+
+let max_broadcast_wire_size =
+  header_bytes + Eth.header_bytes + Eth.max_ethernet_payload + trailer_bytes
+
+let encode t =
+  let w = Wire.Writer.create ~initial_size:(wire_size t) () in
+  Wire.Writer.u16 w (Short_address.to_int t.dst);
+  Wire.Writer.u16 w (Short_address.to_int t.src);
+  Wire.Writer.u16 w (typ_to_int t.typ);
+  Wire.Writer.string w t.enc_info;
+  Wire.Writer.string w t.body;
+  let covered = Wire.Writer.contents w in
+  let crc = Crc32.string covered in
+  let w2 = Wire.Writer.create ~initial_size:trailer_bytes () in
+  Wire.Writer.u32 w2 0;
+  Wire.Writer.u32 w2 (Int32.to_int crc land 0xFFFF_FFFF);
+  covered ^ Wire.Writer.contents w2
+
+let decode s =
+  let total = String.length s in
+  if total < header_bytes + trailer_bytes then raise Wire.Truncated;
+  let r = Wire.Reader.of_string s in
+  let dst = Short_address.of_int (Wire.Reader.u16 r) in
+  let src = Short_address.of_int (Wire.Reader.u16 r) in
+  let typ = typ_of_int (Wire.Reader.u16 r) in
+  let enc_info = Wire.Reader.take r encryption_info_bytes in
+  let body_len = total - header_bytes - trailer_bytes in
+  let body = Wire.Reader.take r body_len in
+  let (_ : int) = Wire.Reader.u32 r in
+  let crc_stored = Wire.Reader.u32 r in
+  let crc_computed =
+    Crc32.string (String.sub s 0 (total - trailer_bytes))
+  in
+  let ok = crc_stored = Int32.to_int crc_computed land 0xFFFF_FFFF in
+  ({ dst; src; typ; enc_info; body }, ok)
+
+let equal a b =
+  Short_address.equal a.dst b.dst
+  && Short_address.equal a.src b.src
+  && equal_typ a.typ b.typ
+  && String.equal a.enc_info b.enc_info
+  && String.equal a.body b.body
+
+let pp ppf t =
+  Format.fprintf ppf "pkt{%a -> %a %a len=%d}" Short_address.pp t.src
+    Short_address.pp t.dst pp_typ t.typ (wire_size t)

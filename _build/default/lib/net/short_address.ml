@@ -1,0 +1,76 @@
+type t = int
+
+let of_int n =
+  if n < 0 || n > 0xFFFF then
+    invalid_arg (Printf.sprintf "Short_address.of_int: %d out of range" n);
+  n
+
+let to_int t = t
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf t = Format.fprintf ppf "0x%04X" t
+
+let local_switch = 0x0000
+
+let one_hop ~port =
+  if port < 1 || port > 0xF then
+    invalid_arg (Printf.sprintf "Short_address.one_hop: port %d" port);
+  port
+
+let loopback = 0xFFFC
+let broadcast_all = 0xFFFD
+let broadcast_switches = 0xFFFE
+let broadcast_hosts = 0xFFFF
+
+let port_bits = 4
+let ports_per_switch = 1 lsl port_bits
+let first_switch_number = 1
+
+(* The highest assigned address is 0xFFEF; switch number n covers addresses
+   n*16 .. n*16+15, so the last full switch number is 0xFFE. *)
+let max_switch_number = 0xFFE
+
+let assigned ~switch_number ~port =
+  if switch_number < first_switch_number || switch_number > max_switch_number
+  then
+    invalid_arg
+      (Printf.sprintf "Short_address.assigned: switch number %d" switch_number);
+  if port < 0 || port >= ports_per_switch then
+    invalid_arg (Printf.sprintf "Short_address.assigned: port %d" port);
+  (switch_number lsl port_bits) lor port
+
+let split a =
+  if a >= 0x0010 && a <= 0xFFEF then Some (a lsr port_bits, a land 0xF)
+  else None
+
+type cls =
+  | To_local_switch
+  | One_hop of int
+  | Assigned of int * int
+  | Reserved
+  | Loopback
+  | Broadcast_all
+  | Broadcast_switches
+  | Broadcast_hosts
+
+let classify a =
+  if a = 0x0000 then To_local_switch
+  else if a <= 0x000F then One_hop a
+  else if a <= 0xFFEF then Assigned (a lsr port_bits, a land 0xF)
+  else if a <= 0xFFFB then Reserved
+  else if a = 0xFFFC then Loopback
+  else if a = 0xFFFD then Broadcast_all
+  else if a = 0xFFFE then Broadcast_switches
+  else Broadcast_hosts
+
+let is_broadcast a = a >= 0xFFFD
+
+let pp_cls ppf = function
+  | To_local_switch -> Format.pp_print_string ppf "to-local-switch"
+  | One_hop p -> Format.fprintf ppf "one-hop(port %d)" p
+  | Assigned (s, p) -> Format.fprintf ppf "assigned(switch %d, port %d)" s p
+  | Reserved -> Format.pp_print_string ppf "reserved"
+  | Loopback -> Format.pp_print_string ppf "loopback"
+  | Broadcast_all -> Format.pp_print_string ppf "broadcast-all"
+  | Broadcast_switches -> Format.pp_print_string ppf "broadcast-switches"
+  | Broadcast_hosts -> Format.pp_print_string ppf "broadcast-hosts"

@@ -1,0 +1,85 @@
+type handle = { mutable live : bool; action : unit -> unit; counter : int ref }
+(* [counter] is shared with the owning engine so that [cancel] can keep the
+   live-event count accurate without a back-pointer to the engine. *)
+
+type t = {
+  mutable clock : Time.t;
+  queue : handle Pqueue.t;
+  mutable next_seq : int;
+  mutable executed : int;
+  live_count : int ref;
+}
+
+let create () =
+  { clock = Time.zero;
+    queue = Pqueue.create ();
+    next_seq = 0;
+    executed = 0;
+    live_count = ref 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is before now %d" time
+         t.clock);
+  let h = { live = true; action = f; counter = t.live_count } in
+  Pqueue.add t.queue ~time ~seq:t.next_seq h;
+  t.next_seq <- t.next_seq + 1;
+  incr t.live_count;
+  h
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(Time.add t.clock delay) f
+
+let cancel h =
+  if h.live then begin
+    h.live <- false;
+    decr h.counter
+  end
+
+let cancelled h = not h.live
+
+(* Cancelled entries are discarded lazily when they reach the head of the
+   queue, which keeps [cancel] O(1). *)
+let rec drop_dead_head t =
+  match Pqueue.peek t.queue with
+  | Some (_, _, h) when not h.live ->
+    ignore (Pqueue.pop t.queue);
+    drop_dead_head t
+  | _ -> ()
+
+let step t =
+  drop_dead_head t;
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, _seq, h) ->
+    t.clock <- time;
+    h.live <- false;
+    decr t.live_count;
+    t.executed <- t.executed + 1;
+    h.action ();
+    true
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match until with
+    | Some limit -> begin
+      drop_dead_head t;
+      match Pqueue.peek_time t.queue with
+      | None -> continue := false
+      | Some time when time > limit ->
+        t.clock <- limit;
+        continue := false
+      | Some _ -> if step t then decr budget else continue := false
+    end
+    | None -> if step t then decr budget else continue := false
+  done
+
+let pending t = !(t.live_count)
+
+let events_executed t = t.executed

@@ -1,0 +1,44 @@
+(** Discrete-event simulation engine.
+
+    The engine holds a virtual clock and a priority queue of pending events.
+    Running the engine repeatedly pops the earliest event, advances the
+    clock to its timestamp and executes its callback; callbacks schedule
+    further events.  Two events at the same instant fire in the order they
+    were scheduled, making every run deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t + delay].  [delay] must be
+    non-negative. *)
+
+val schedule_at : t -> time:Time.t -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] runs [f] at absolute [time], which must not be
+    in the virtual past. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val step : t -> bool
+(** Execute the next pending event.  Returns [false] when the queue is
+    empty. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Run events until the queue drains, the clock would pass [until], or
+    [max_events] events have been executed.  Events scheduled exactly at
+    [until] do fire. *)
+
+val pending : t -> int
+(** Number of live (non-cancelled) events still queued. *)
+
+val events_executed : t -> int

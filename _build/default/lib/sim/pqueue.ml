@@ -1,0 +1,73 @@
+type 'a entry = { time : Time.t; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length q = q.size
+let is_empty q = q.size = 0
+
+let entry_before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q =
+  let capacity = Array.length q.data in
+  let new_capacity = if capacity = 0 then 16 else capacity * 2 in
+  if q.size > 0 then begin
+    let d = Array.make new_capacity q.data.(0) in
+    Array.blit q.data 0 d 0 q.size;
+    q.data <- d
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before q.data.(i) q.data.(parent) then begin
+      let tmp = q.data.(i) in
+      q.data.(i) <- q.data.(parent);
+      q.data.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < q.size && entry_before q.data.(left) q.data.(!smallest) then
+    smallest := left;
+  if right < q.size && entry_before q.data.(right) q.data.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = q.data.(i) in
+    q.data.(i) <- q.data.(!smallest);
+    q.data.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let add q ~time ~seq value =
+  if q.size = Array.length q.data || Array.length q.data = 0 then begin
+    if Array.length q.data = 0 then q.data <- Array.make 16 { time; seq; value }
+    else grow q
+  end;
+  q.data.(q.size) <- { time; seq; value };
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (top.time, top.seq, top.value)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.data.(0).time
+
+let peek q =
+  if q.size = 0 then None
+  else
+    let top = q.data.(0) in
+    Some (top.time, top.seq, top.value)

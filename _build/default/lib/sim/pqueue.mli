@@ -1,0 +1,23 @@
+(** Growable binary min-heap keyed by [(time, seq)].
+
+    The sequence number breaks ties so that events scheduled for the same
+    instant fire in scheduling order, which keeps simulations deterministic
+    regardless of heap internals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:Time.t -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (Time.t * int * 'a) option
+(** Remove and return the minimum element, or [None] when empty. *)
+
+val peek_time : 'a t -> Time.t option
+(** Key of the minimum element without removing it. *)
+
+val peek : 'a t -> (Time.t * int * 'a) option
+(** The minimum element without removing it. *)

@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+(* splitmix64 finalizer (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g = create ~seed:(next64 g)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Take the top bits, which are the best-mixed, modulo the bound.  The
+     modulo bias is negligible for the bounds used in simulations
+     (bound << 2^63). *)
+  let v = Int64.shift_right_logical (next64 g) 1 in
+  Int64.to_int (Int64.rem v (Int64.of_int bound))
+
+let float g bound =
+  let v = Int64.shift_right_logical (next64 g) 11 in
+  (* 53 uniformly random bits mapped to [0, 1). *)
+  Int64.to_float v /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (next64 g) 1L = 1L
+
+let exponential g ~mean =
+  let u = float g 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then epsilon_float else u in
+  -.mean *. log u
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int g (List.length l))

@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random numbers for simulations.
+
+    A splitmix64 generator.  Every experiment derives all of its randomness
+    from a single seed so that runs are exactly reproducible; [split] yields
+    statistically independent child generators for independent subsystems
+    (per-switch jitter, traffic sources, fault schedules) without sharing
+    mutable state between them. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val split : t -> t
+(** [split g] returns a fresh generator seeded from [g]'s stream.  [g]
+    advances; the child is independent of [g]'s subsequent output. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean; used for Poisson
+    traffic inter-arrival times. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniformly random element.  Raises [Invalid_argument] on an empty list. *)

@@ -1,0 +1,26 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let s n = n * 1_000_000_000
+let of_float_s x = int_of_float (Float.round (x *. 1e9))
+let to_float_s t = float_of_int t /. 1e9
+let to_float_us t = float_of_int t /. 1e3
+let to_float_ms t = float_of_int t /. 1e6
+let add = Stdlib.( + )
+let sub = Stdlib.( - )
+let compare = Int.compare
+let equal = Int.equal
+let ( + ) = Stdlib.( + )
+let ( - ) = Stdlib.( - )
+let min = Stdlib.min
+let max = Stdlib.max
+
+let pp ppf t =
+  let a = abs t in
+  if a < 1_000 then Format.fprintf ppf "%d ns" t
+  else if a < 1_000_000 then Format.fprintf ppf "%.3f us" (to_float_us t)
+  else if a < 1_000_000_000 then Format.fprintf ppf "%.3f ms" (to_float_ms t)
+  else Format.fprintf ppf "%.3f s" (to_float_s t)

@@ -1,0 +1,48 @@
+(** Simulated time.
+
+    All simulation time is kept as an integer number of nanoseconds since
+    the start of the run.  A 63-bit [int] covers about 146 years of
+    simulated time, far beyond any experiment in this repository, and keeps
+    the event queue free of boxed values. *)
+
+type t = int
+(** Nanoseconds since simulation start. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val s : int -> t
+(** [s n] is [n] seconds. *)
+
+val of_float_s : float -> t
+(** [of_float_s x] is [x] seconds, rounded to the nearest nanosecond. *)
+
+val to_float_s : t -> float
+(** [to_float_s t] is [t] expressed in seconds. *)
+
+val to_float_us : t -> float
+(** [to_float_us t] is [t] expressed in microseconds. *)
+
+val to_float_ms : t -> float
+(** [to_float_ms t] is [t] expressed in milliseconds. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit, e.g. ["1.500 ms"]. *)

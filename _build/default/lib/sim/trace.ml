@@ -1,0 +1,37 @@
+type record = { time : Time.t; subject : string; message : string }
+
+type t = { mutable on : bool; mutable records : record list; mutable count : int }
+
+let create ?(enabled = true) () = { on = enabled; records = []; count = 0 }
+
+let enabled t = t.on
+let set_enabled t v = t.on <- v
+
+let record t ~time ~subject message =
+  if t.on then begin
+    t.records <- { time; subject; message } :: t.records;
+    t.count <- t.count + 1
+  end
+
+let recordf t ~time ~subject fmt =
+  if t.on then
+    Format.kasprintf (fun message -> record t ~time ~subject message) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let to_list t = List.rev t.records
+
+let length t = t.count
+
+let find t ~f =
+  (* Records are stored newest-first; search oldest-first. *)
+  let rec last_match acc = function
+    | [] -> acc
+    | r :: rest -> last_match (if f r then Some r else acc) rest
+  in
+  last_match None t.records
+
+let pp_record ppf { time; subject; message } =
+  Format.fprintf ppf "[%a] %-16s %s" Time.pp time subject message
+
+let dump ppf t =
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_record r) (to_list t)

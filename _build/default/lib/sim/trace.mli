@@ -1,0 +1,33 @@
+(** Lightweight, timestamped trace collection.
+
+    A trace is an append-only record of [(time, subject, message)] triples
+    used by tests and by the merged-log debugging tools (paper section 6.7).
+    Collection is cheap when disabled. *)
+
+type t
+
+type record = { time : Time.t; subject : string; message : string }
+
+val create : ?enabled:bool -> unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> time:Time.t -> subject:string -> string -> unit
+(** Append a record (no-op when disabled). *)
+
+val recordf :
+  t -> time:Time.t -> subject:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Like {!record} with a format string; the message is not built when
+    tracing is disabled. *)
+
+val to_list : t -> record list
+(** Records in chronological (append) order. *)
+
+val length : t -> int
+
+val find : t -> f:(record -> bool) -> record option
+
+val pp_record : Format.formatter -> record -> unit
+
+val dump : Format.formatter -> t -> unit

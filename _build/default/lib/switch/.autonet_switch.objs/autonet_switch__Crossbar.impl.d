@@ -1,0 +1,1 @@
+lib/switch/crossbar.ml: Array List Port_vector Printf

@@ -1,0 +1,1 @@
+lib/switch/crossbar.mli: Port_vector

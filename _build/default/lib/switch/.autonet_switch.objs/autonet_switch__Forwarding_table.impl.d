@@ -1,0 +1,1 @@
+lib/switch/forwarding_table.ml: Autonet_core Autonet_net Hashtbl Int List Port_vector Short_address

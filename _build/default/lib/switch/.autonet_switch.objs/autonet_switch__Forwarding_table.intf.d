@@ -1,0 +1,1 @@
+lib/switch/forwarding_table.mli: Autonet_core Autonet_net Port_vector Short_address

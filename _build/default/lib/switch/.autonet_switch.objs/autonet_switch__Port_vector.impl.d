@@ -1,0 +1,1 @@
+lib/switch/port_vector.ml: Format Int List Printf String

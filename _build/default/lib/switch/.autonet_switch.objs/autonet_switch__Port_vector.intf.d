@@ -1,0 +1,1 @@
+lib/switch/port_vector.mli: Format

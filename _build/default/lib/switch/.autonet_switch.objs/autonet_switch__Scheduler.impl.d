@@ -1,0 +1,1 @@
+lib/switch/scheduler.ml: List Port_vector

@@ -1,0 +1,1 @@
+lib/switch/scheduler.mli: Port_vector

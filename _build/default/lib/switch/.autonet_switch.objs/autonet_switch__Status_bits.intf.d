@@ -1,0 +1,1 @@
+lib/switch/status_bits.mli:

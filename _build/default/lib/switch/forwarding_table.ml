@@ -1,0 +1,67 @@
+open Autonet_net
+
+type entry = { vector : Port_vector.t; broadcast : bool }
+
+let discard_entry = { vector = Port_vector.empty; broadcast = true }
+
+type t = {
+  ports : int;
+  entries : (int * int, entry) Hashtbl.t;
+  mutable gen : int;
+}
+
+let create ~max_ports = { ports = max_ports; entries = Hashtbl.create 512; gen = 0 }
+
+let max_ports t = t.ports
+
+let generation t = t.gen
+
+let set t ~in_port ~dst entry =
+  if in_port < 0 || in_port > t.ports then
+    invalid_arg "Forwarding_table.set: in_port out of range";
+  Hashtbl.replace t.entries (in_port, Short_address.to_int dst) entry
+
+let lookup t ~in_port ~dst =
+  match Hashtbl.find_opt t.entries (in_port, Short_address.to_int dst) with
+  | Some e -> e
+  | None -> discard_entry
+
+let unset t ~in_port ~dst =
+  Hashtbl.remove t.entries (in_port, Short_address.to_int dst)
+
+let has_row t ~in_port =
+  Hashtbl.fold (fun (p, _) _ acc -> acc || p = in_port) t.entries false
+
+let rows_of t ~in_port =
+  Hashtbl.fold
+    (fun (p, a) e acc -> if p = in_port then (a, e) :: acc else acc)
+    t.entries []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map (fun (a, e) -> (Short_address.of_int a, e))
+
+let clear t =
+  Hashtbl.reset t.entries;
+  t.gen <- t.gen + 1
+
+let install_one_hop t =
+  for k = 1 to t.ports do
+    let dst = Short_address.one_hop ~port:k in
+    set t ~in_port:0 ~dst { vector = Port_vector.singleton k; broadcast = false };
+    for p = 1 to t.ports do
+      set t ~in_port:p ~dst { vector = Port_vector.singleton 0; broadcast = false }
+    done
+  done
+
+let load_constant t =
+  clear t;
+  install_one_hop t
+
+let load_spec t spec =
+  clear t;
+  install_one_hop t;
+  Autonet_core.Tables.fold spec ~init:() ~f:(fun () ~in_port ~dst e ->
+      set t ~in_port ~dst
+        { vector = Port_vector.of_list e.Autonet_core.Tables.ports;
+          broadcast = e.Autonet_core.Tables.broadcast })
+
+let entry_count t = Hashtbl.length t.entries

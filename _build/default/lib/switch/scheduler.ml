@@ -1,0 +1,133 @@
+type grant = { in_port : int; out_ports : Port_vector.t; broadcast : bool }
+
+type req = {
+  r_in_port : int;
+  r_vector : Port_vector.t;
+  r_broadcast : bool;
+  mutable r_captured : Port_vector.t; (* broadcast requests accumulate here *)
+}
+
+type t = { mutable queue : req list (* oldest first *) }
+
+let create () = { queue = [] }
+
+let has_request t ~in_port =
+  List.exists (fun r -> r.r_in_port = in_port) t.queue
+
+let request t ~in_port ~vector ~broadcast =
+  if has_request t ~in_port then false
+  else begin
+    t.queue <-
+      t.queue
+      @ [ { r_in_port = in_port;
+            r_vector = vector;
+            r_broadcast = broadcast;
+            r_captured = Port_vector.empty } ];
+    true
+  end
+
+let round ?(max_grants = max_int) t ~free =
+  (* Ports already reserved by queued broadcast requests stay captured
+     between rounds: hide them from the sweep. *)
+  let reserved =
+    List.fold_left
+      (fun acc r -> Port_vector.union acc r.r_captured)
+      Port_vector.empty t.queue
+  in
+  let free = ref (Port_vector.diff free reserved) in
+  let grants = ref [] in
+  let n_granted = ref 0 in
+  let survivors =
+    List.filter
+      (fun r ->
+        if !n_granted >= max_grants then true
+        else if not r.r_broadcast then begin
+          match Port_vector.lowest (Port_vector.inter r.r_vector !free) with
+          | Some p ->
+            free := Port_vector.remove p !free;
+            grants :=
+              { in_port = r.r_in_port;
+                out_ports = Port_vector.singleton p;
+                broadcast = false }
+              :: !grants;
+            incr n_granted;
+            false
+          | None -> true
+        end
+        else begin
+          (* Capture every free port still needed, and hide captured ports
+             from younger requests. *)
+          let needed = Port_vector.diff r.r_vector r.r_captured in
+          let captured_now = Port_vector.inter needed !free in
+          free := Port_vector.diff !free captured_now;
+          r.r_captured <- Port_vector.union r.r_captured captured_now;
+          if Port_vector.subset r.r_vector r.r_captured then begin
+            grants :=
+              { in_port = r.r_in_port;
+                out_ports = r.r_vector;
+                broadcast = true }
+              :: !grants;
+            incr n_granted;
+            false
+          end
+          else true
+        end)
+      t.queue
+  in
+  t.queue <- survivors;
+  List.rev !grants
+
+let round_fcfs ?(max_grants = max_int) t ~free =
+  (* Serve strictly in order: stop at the first request that cannot
+     complete this round. *)
+  let reserved =
+    List.fold_left
+      (fun acc r -> Port_vector.union acc r.r_captured)
+      Port_vector.empty t.queue
+  in
+  let free = ref (Port_vector.diff free reserved) in
+  let grants = ref [] in
+  let n_granted = ref 0 in
+  let rec serve = function
+    | [] -> []
+    | r :: rest ->
+      if !n_granted >= max_grants then r :: rest
+      else if not r.r_broadcast then begin
+        match Port_vector.lowest (Port_vector.inter r.r_vector !free) with
+        | Some p ->
+          free := Port_vector.remove p !free;
+          grants :=
+            { in_port = r.r_in_port;
+              out_ports = Port_vector.singleton p;
+              broadcast = false }
+            :: !grants;
+          incr n_granted;
+          serve rest
+        | None -> r :: rest (* head blocked: everyone behind waits *)
+      end
+      else begin
+        let needed = Port_vector.diff r.r_vector r.r_captured in
+        let captured_now = Port_vector.inter needed !free in
+        free := Port_vector.diff !free captured_now;
+        r.r_captured <- Port_vector.union r.r_captured captured_now;
+        if Port_vector.subset r.r_vector r.r_captured then begin
+          grants :=
+            { in_port = r.r_in_port;
+              out_ports = r.r_vector;
+              broadcast = true }
+            :: !grants;
+          incr n_granted;
+          serve rest
+        end
+        else r :: rest
+      end
+  in
+  t.queue <- serve t.queue;
+  List.rev !grants
+
+let cancel t ~in_port =
+  t.queue <- List.filter (fun r -> r.r_in_port <> in_port) t.queue
+
+let pending t = List.length t.queue
+
+let clear t = t.queue <- []

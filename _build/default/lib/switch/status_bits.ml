@@ -1,0 +1,53 @@
+type current = { is_host : bool; xmit_ok : bool; in_packet : bool }
+
+type accumulated = {
+  bad_code : bool;
+  bad_syntax : bool;
+  overflow : bool;
+  underflow : bool;
+  idhy_seen : bool;
+  panic_seen : bool;
+  progress_seen : bool;
+  start_seen : bool;
+}
+
+let no_events =
+  { bad_code = false;
+    bad_syntax = false;
+    overflow = false;
+    underflow = false;
+    idhy_seen = false;
+    panic_seen = false;
+    progress_seen = false;
+    start_seen = false }
+
+type t = {
+  mutable cur : current;
+  mutable acc : accumulated;
+}
+
+let create () =
+  { cur = { is_host = false; xmit_ok = false; in_packet = false };
+    acc = no_events }
+
+let set_is_host t v = t.cur <- { t.cur with is_host = v }
+let set_xmit_ok t v = t.cur <- { t.cur with xmit_ok = v }
+let set_in_packet t v = t.cur <- { t.cur with in_packet = v }
+
+let note_bad_code t = t.acc <- { t.acc with bad_code = true }
+let note_bad_syntax t = t.acc <- { t.acc with bad_syntax = true }
+let note_overflow t = t.acc <- { t.acc with overflow = true }
+let note_underflow t = t.acc <- { t.acc with underflow = true }
+let note_idhy t = t.acc <- { t.acc with idhy_seen = true }
+let note_panic t = t.acc <- { t.acc with panic_seen = true }
+let note_progress t = t.acc <- { t.acc with progress_seen = true }
+let note_start t = t.acc <- { t.acc with start_seen = true }
+
+let current t = t.cur
+
+let read_accumulated t =
+  let a = t.acc in
+  t.acc <- no_events;
+  a
+
+let peek_accumulated t = t.acc

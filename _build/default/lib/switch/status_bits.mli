@@ -1,0 +1,51 @@
+(** Link-unit status bits (paper section 6.5.2).
+
+    Three bits report the port's current condition; the rest accumulate
+    occurrences and are cleared when the control processor reads them —
+    exactly the polling interface the status sampler uses. *)
+
+type current = {
+  is_host : bool;    (** last flow control received was [host] *)
+  xmit_ok : bool;    (** last flow control allows transmission *)
+  in_packet : bool;  (** transmitter is mid-packet *)
+}
+
+type accumulated = {
+  bad_code : bool;       (** TAXI receiver reported a violation *)
+  bad_syntax : bool;     (** out-of-place directive / framing error *)
+  overflow : bool;
+  underflow : bool;
+  idhy_seen : bool;
+  panic_seen : bool;
+  progress_seen : bool;  (** FIFO forwarded bytes, or has seen no packets *)
+  start_seen : bool;     (** [start] or [host] received *)
+}
+
+val no_events : accumulated
+
+type t
+
+val create : unit -> t
+
+(** Setters used by the link-unit model. *)
+
+val set_is_host : t -> bool -> unit
+val set_xmit_ok : t -> bool -> unit
+val set_in_packet : t -> bool -> unit
+val note_bad_code : t -> unit
+val note_bad_syntax : t -> unit
+val note_overflow : t -> unit
+val note_underflow : t -> unit
+val note_idhy : t -> unit
+val note_panic : t -> unit
+val note_progress : t -> unit
+val note_start : t -> unit
+
+val current : t -> current
+(** Read the level-triggered bits (not cleared). *)
+
+val read_accumulated : t -> accumulated
+(** Read and clear the event bits, as the hardware does. *)
+
+val peek_accumulated : t -> accumulated
+(** Read without clearing (for assertions in tests). *)

@@ -1,0 +1,1 @@
+lib/topo/builders.ml: Array Autonet_core Autonet_net Autonet_sim Format Fun Graph Hashtbl List Printf Uid

@@ -1,0 +1,1 @@
+lib/topo/builders.mli: Autonet_core Autonet_net Autonet_sim Format Graph Uid

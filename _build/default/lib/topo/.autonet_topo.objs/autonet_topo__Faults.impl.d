@@ -1,0 +1,1 @@
+lib/topo/faults.ml: Autonet_core Autonet_sim Format Graph List

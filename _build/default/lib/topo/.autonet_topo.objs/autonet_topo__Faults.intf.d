@@ -1,0 +1,1 @@
+lib/topo/faults.mli: Autonet_core Autonet_sim Format Graph

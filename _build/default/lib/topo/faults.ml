@@ -1,0 +1,45 @@
+open Autonet_core
+
+type event =
+  | Link_down of Graph.link_id
+  | Link_up of Graph.link_id
+  | Switch_down of Graph.switch
+  | Switch_up of Graph.switch
+
+let pp_event ppf = function
+  | Link_down l -> Format.fprintf ppf "link %d down" l
+  | Link_up l -> Format.fprintf ppf "link %d up" l
+  | Switch_down s -> Format.fprintf ppf "switch %d down" s
+  | Switch_up s -> Format.fprintf ppf "switch %d up" s
+
+type item = { at : Autonet_sim.Time.t; event : event }
+
+type schedule = item list
+
+let sort s = List.stable_sort (fun a b -> compare a.at b.at) s
+
+let single_link_failure ~link ~at = [ { at; event = Link_down link } ]
+
+let fail_and_repair ~link ~fail_at ~repair_at =
+  if repair_at <= fail_at then invalid_arg "fail_and_repair: repair before failure";
+  [ { at = fail_at; event = Link_down link };
+    { at = repair_at; event = Link_up link } ]
+
+let flapping_link ~link ~start ~period ~cycles =
+  if cycles < 1 then invalid_arg "flapping_link: cycles must be >= 1";
+  let half = period / 2 in
+  List.concat
+    (List.init cycles (fun i ->
+         let base = start + (i * period) in
+         [ { at = base; event = Link_down link };
+           { at = base + half; event = Link_up link } ]))
+
+let switch_crash ~switch ~at = [ { at; event = Switch_down switch } ]
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun { at; event } ->
+      Format.fprintf ppf "%a: %a@," Autonet_sim.Time.pp at pp_event event)
+    (sort s);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,39 @@
+(** Fault-injection schedules.
+
+    A schedule is pure data: a time-ordered list of component failures and
+    repairs.  The [autonet] umbrella library applies schedules to a running
+    simulation; keeping them as data makes experiments reproducible and
+    easy to enumerate in EXPERIMENTS.md. *)
+
+open Autonet_core
+
+type event =
+  | Link_down of Graph.link_id
+  | Link_up of Graph.link_id
+  | Switch_down of Graph.switch   (** power off: all its links go dead *)
+  | Switch_up of Graph.switch
+
+val pp_event : Format.formatter -> event -> unit
+
+type item = { at : Autonet_sim.Time.t; event : event }
+
+type schedule = item list
+
+val sort : schedule -> schedule
+(** Stable sort by time. *)
+
+val single_link_failure : link:Graph.link_id -> at:Autonet_sim.Time.t -> schedule
+
+val fail_and_repair :
+  link:Graph.link_id -> fail_at:Autonet_sim.Time.t -> repair_at:Autonet_sim.Time.t ->
+  schedule
+
+val flapping_link :
+  link:Graph.link_id -> start:Autonet_sim.Time.t -> period:Autonet_sim.Time.t ->
+  cycles:int -> schedule
+(** [cycles] down/up pairs: down at [start], up half a period later, and so
+    on. *)
+
+val switch_crash : switch:Graph.switch -> at:Autonet_sim.Time.t -> schedule
+
+val pp : Format.formatter -> schedule -> unit

@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Array Autonet_core Autonet_sim Format Graph List Seq

@@ -1,0 +1,1 @@
+lib/workload/traffic.mli: Autonet_core Autonet_net Autonet_sim Format Graph Short_address

@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Autonet Autonet_autopilot Autonet_core Autonet_dataplane Autonet_host Autonet_net Autonet_sim Autonet_topo Eth Format Graph List Packet Printf Short_address String Uid

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Autonet_autopilot Autonet_core Autonet_net Autonet_sim Autonet_switch Float Gen Int64 List Option Packet QCheck QCheck_alcotest Queue Testlib Uid Wire

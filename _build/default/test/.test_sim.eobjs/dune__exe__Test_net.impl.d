@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Autonet_net Bytes Channel Char Command Crc32 Eth Fifo Format Gen Hashtbl List Option Packet QCheck QCheck_alcotest Short_address String Uid Wire

@@ -1,0 +1,1 @@
+test/test_reconfig_unit.ml: Alcotest Array Autonet_autopilot Autonet_core Autonet_net Autonet_sim Autonet_topo Epoch Format Graph Lazy List Option Printf Queue Spanning_tree Topology_report Uid

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Autonet_sim Engine Format Fun Int List Pqueue Rng Time Trace

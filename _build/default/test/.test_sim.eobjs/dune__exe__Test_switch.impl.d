@@ -1,0 +1,1 @@
+test/test_switch.ml: Alcotest Autonet_net Autonet_switch Int List QCheck QCheck_alcotest Short_address

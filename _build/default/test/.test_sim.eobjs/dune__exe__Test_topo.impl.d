@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array Autonet_core Autonet_net Autonet_sim Autonet_topo Graph Int List Queue Routes Spanning_tree Updown

@@ -1,0 +1,1 @@
+test/testlib.ml: Address_assign Autonet_core Autonet_sim Autonet_topo Graph List Routes Spanning_tree Tables Updown Verify

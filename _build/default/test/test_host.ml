@@ -1,0 +1,472 @@
+(* Tests for the host software: ARP codec, UID cache learning rules,
+   LocalNet send/receive behaviour, the failover driver and the bridge. *)
+
+open Autonet_net
+open Autonet_core
+module B = Autonet_topo.Builders
+module N = Autonet.Network
+module S = Autonet.Service
+module D = Autonet_host.Driver
+module LN = Autonet_host.Localnet
+module UC = Autonet_host.Uid_cache
+module Arp = Autonet_host.Arp
+module Bridge = Autonet_host.Bridge
+module F = Autonet_topo.Faults
+module Time = Autonet_sim.Time
+module Engine = Autonet_sim.Engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let uid = Uid.of_int
+let sa = Short_address.of_int
+
+(* ------------------------------------------------------------------ *)
+(* ARP *)
+
+let test_arp_roundtrip () =
+  List.iter
+    (fun msg ->
+      let eth = Arp.to_eth ~src:(uid 1) ~dst:(uid 2) msg in
+      check_int "ethertype" Arp.ethertype eth.Eth.ethertype;
+      match Arp.of_eth eth with
+      | Some m -> check_bool "same" true (m = msg)
+      | None -> Alcotest.fail "decode failed")
+    [ Arp.Request { target = uid 0x42 }; Arp.Reply; Arp.Announce ]
+
+let test_arp_rejects_non_arp () =
+  let eth = Eth.make ~dst:(uid 1) ~src:(uid 2) ~ethertype:0x0800 ~payload:"x" in
+  check_bool "not arp" true (Arp.of_eth eth = None)
+
+(* ------------------------------------------------------------------ *)
+(* UID cache *)
+
+let test_cache_learn_find () =
+  let c = UC.create () in
+  UC.learn c ~uid:(uid 7) ~address:(sa 0x123) ~now:(Time.ms 5);
+  match UC.find c (uid 7) with
+  | Some e ->
+    check_int "addr" 0x123 (Short_address.to_int e.UC.address);
+    check_int "time" (Time.ms 5) e.UC.updated_at
+  | None -> Alcotest.fail "missing"
+
+let test_cache_lookup_creates_broadcast_entry () =
+  let c = UC.create () in
+  let addr, freshness = UC.lookup_for_send c (uid 9) ~now:Time.zero in
+  check_bool "broadcast" true (Short_address.is_broadcast addr);
+  check_bool "fresh (nothing to arp)" true (freshness = `Fresh);
+  check_int "entry created" 1 (UC.size c)
+
+let test_cache_staleness_window () =
+  let c = UC.create () in
+  UC.learn c ~uid:(uid 3) ~address:(sa 0x50) ~now:Time.zero;
+  let _, f1 = UC.lookup_for_send c (uid 3) ~now:(Time.s 1) in
+  check_bool "within 2s fresh" true (f1 = `Fresh);
+  let addr, f2 = UC.lookup_for_send c (uid 3) ~now:(Time.s 3) in
+  check_bool "stale after 2s" true (f2 = `Stale);
+  check_int "still last known address" 0x50 (Short_address.to_int addr)
+
+let test_cache_expire () =
+  let c = UC.create () in
+  UC.learn c ~uid:(uid 3) ~address:(sa 0x50) ~now:Time.zero;
+  UC.expire c (uid 3);
+  let addr, _ = UC.lookup_for_send c (uid 3) ~now:(Time.s 1) in
+  check_bool "broadcast after expire" true (Short_address.is_broadcast addr)
+
+let test_cache_updated_since () =
+  let c = UC.create () in
+  UC.learn c ~uid:(uid 3) ~address:(sa 0x50) ~now:(Time.ms 100);
+  check_bool "after" true (UC.updated_since c (uid 3) (Time.ms 50));
+  check_bool "not after" false (UC.updated_since c (uid 3) (Time.ms 150))
+
+let test_cache_network_tags () =
+  let c = UC.create () in
+  UC.learn ~network:UC.Ethernet c ~uid:(uid 1) ~address:(sa 0xFFFF) ~now:Time.zero;
+  UC.learn ~network:UC.Autonet c ~uid:(uid 2) ~address:(sa 0x20) ~now:Time.zero;
+  check_bool "eth" true (UC.network_of c (uid 1) = Some UC.Ethernet);
+  check_bool "auto" true (UC.network_of c (uid 2) = Some UC.Autonet);
+  check_bool "unknown" true (UC.network_of c (uid 3) = None)
+
+(* ------------------------------------------------------------------ *)
+(* LocalNet over a live service LAN *)
+
+let make_service ?(rows = 2) ?(cols = 2) ?(seed = 3L) () =
+  let net =
+    N.create ~params:Autonet_autopilot.Params.fast ~seed
+      (B.attach_hosts (B.torus ~rows ~cols ()) ~per_switch:2)
+  in
+  let svc = S.create net in
+  S.start svc;
+  if not (S.run_until_hosts_ready svc) then Alcotest.fail "service not ready";
+  (net, svc)
+
+let test_localnet_end_to_end () =
+  let net, svc = make_service () in
+  let hs = S.hosts svc in
+  let h1 = List.hd hs and h2 = List.nth hs 1 in
+  let got = ref [] in
+  LN.set_client_rx h2.S.localnet (fun eth -> got := eth :: !got);
+  let eth =
+    Eth.make ~dst:h2.S.uid ~src:h1.S.uid ~ethertype:0x0800 ~payload:"ping"
+  in
+  check_bool "sent" true (S.send_datagram svc ~from:h1.S.uid eth);
+  N.run_for net (Time.ms 50);
+  check_int "delivered" 1 (List.length !got);
+  check_bool "payload" true ((List.hd !got).Eth.payload = "ping")
+
+let test_localnet_learns_and_goes_direct () =
+  let net, svc = make_service () in
+  let hs = S.hosts svc in
+  let h1 = List.hd hs and h2 = List.nth hs 1 in
+  let eth =
+    Eth.make ~dst:h2.S.uid ~src:h1.S.uid ~ethertype:0x0800 ~payload:"x"
+  in
+  ignore (S.send_datagram svc ~from:h1.S.uid eth);
+  N.run_for net (Time.ms 50);
+  (* After the exchange (or the boot announcements) the cache knows h2. *)
+  match UC.find (LN.cache h1.S.localnet) h2.S.uid with
+  | Some e -> check_bool "direct" false (Short_address.is_broadcast e.UC.address)
+  | None -> Alcotest.fail "no cache entry"
+
+let test_localnet_broadcast_datagram () =
+  let net, svc = make_service () in
+  let hs = S.hosts svc in
+  let h1 = List.hd hs in
+  let received = ref 0 in
+  List.iter
+    (fun h ->
+      if not (Uid.equal h.S.uid h1.S.uid) then
+        LN.set_client_rx h.S.localnet (fun _ -> incr received))
+    hs;
+  let eth =
+    Eth.make ~dst:Eth.broadcast_uid ~src:h1.S.uid ~ethertype:0x0800 ~payload:"b"
+  in
+  ignore (S.send_datagram svc ~from:h1.S.uid eth);
+  N.run_for net (Time.ms 50);
+  check_int "all got it" (List.length hs - 1) !received
+
+let test_localnet_few_broadcasts_in_steady_state () =
+  (* The headline of 6.8.1: learned addresses mean almost no broadcast
+     data packets. *)
+  let net, svc = make_service () in
+  let hs = S.hosts svc in
+  let h1 = List.hd hs and h2 = List.nth hs 1 in
+  let eth =
+    Eth.make ~dst:h2.S.uid ~src:h1.S.uid ~ethertype:0x0800 ~payload:"x"
+  in
+  for _ = 1 to 50 do
+    ignore (S.send_datagram svc ~from:h1.S.uid eth);
+    N.run_for net (Time.ms 5)
+  done;
+  let st = LN.stats h1.S.localnet in
+  check_int "sent" 50 st.LN.client_sent;
+  check_bool
+    (Printf.sprintf "broadcasts %d" st.LN.broadcast_data_sent)
+    true
+    (st.LN.broadcast_data_sent <= 1)
+
+let test_localnet_survives_renumbering () =
+  (* Crash a switch: addresses may change; traffic keeps flowing after the
+     announcements propagate. *)
+  let net, svc = make_service ~rows:2 ~cols:3 () in
+  let hs = S.hosts svc in
+  let h1 = List.hd hs in
+  (* Pick a peer whose attachments avoid the crashed switch. *)
+  let victim = 5 in
+  let h2 =
+    List.find
+      (fun h ->
+        (not (Uid.equal h.S.uid h1.S.uid))
+        && List.for_all
+             (fun (a : Graph.host_attachment) -> a.Graph.switch <> victim)
+             (Graph.host_attachments (N.graph net) h.S.uid)
+        && fst (D.active h1.S.driver) <> victim)
+      hs
+  in
+  let got = ref 0 in
+  LN.set_client_rx h2.S.localnet (fun _ -> incr got);
+  let eth =
+    Eth.make ~dst:h2.S.uid ~src:h1.S.uid ~ethertype:0x0800 ~payload:"x"
+  in
+  ignore (S.send_datagram svc ~from:h1.S.uid eth);
+  N.run_for net (Time.ms 50);
+  check_int "before crash" 1 !got;
+  N.apply_fault net (F.Switch_down victim);
+  ignore (N.run_until_converged net);
+  (* Let drivers re-confirm and announcements propagate. *)
+  N.run_for net (Time.s 3);
+  ignore (S.send_datagram svc ~from:h1.S.uid eth);
+  N.run_for net (Time.ms 100);
+  check_bool "after crash" true (!got >= 2)
+
+let test_crypto_roundtrip () =
+  let k = Autonet_host.Crypto.key_of_secret 0xDEADL in
+  let msg = "attack at dawn" in
+  let ct = Autonet_host.Crypto.encrypt k msg in
+  check_bool "changed" false (String.equal ct msg);
+  Alcotest.(check string) "roundtrip" msg (Autonet_host.Crypto.decrypt k ct);
+  (* Wrong key yields garbage, not the plaintext. *)
+  let k2 = Autonet_host.Crypto.key_of_secret 0xBEEFL in
+  check_bool "wrong key garbles" false
+    (String.equal msg (Autonet_host.Crypto.decrypt k2 ct))
+
+let test_crypto_header () =
+  let k = Autonet_host.Crypto.key_of_secret 42L in
+  let h = Autonet_host.Crypto.header k in
+  check_int "header size" Packet.encryption_info_bytes (String.length h);
+  check_bool "id recovered" true
+    (Autonet_host.Crypto.key_id_of_header h = Some (Autonet_host.Crypto.key_id k));
+  check_bool "cleartext has no id" true
+    (Autonet_host.Crypto.key_id_of_header Packet.cleartext_info = None)
+
+let test_encrypted_datagram_end_to_end () =
+  (* Two hosts share a key: payloads cross the network encrypted (visible
+     in the packet), arrive decrypted, with zero latency penalty (same
+     data path). *)
+  let net, svc = make_service () in
+  let hs = S.hosts svc in
+  let h1 = List.hd hs and h2 = List.nth hs 1 in
+  let key = Autonet_host.Crypto.key_of_secret 0x5ECE7L in
+  LN.set_peer_key h1.S.localnet ~peer:h2.S.uid key;
+  LN.set_peer_key h2.S.localnet ~peer:h1.S.uid key;
+  let got = ref [] in
+  LN.set_client_rx h2.S.localnet (fun eth -> got := eth :: !got);
+  (* Snoop the wire to confirm ciphertext. *)
+  let wire_payloads = ref [] in
+  Autonet_dataplane.Packet_sim.set_control_rx (S.packet_sim svc) 0 (fun _ -> ());
+  ignore wire_payloads;
+  let secret = "the midnight plan" in
+  ignore
+    (S.send_datagram svc ~from:h1.S.uid
+       (Eth.make ~dst:h2.S.uid ~src:h1.S.uid ~ethertype:0x0800 ~payload:secret));
+  N.run_for net (Time.ms 50);
+  (match !got with
+  | [ eth ] -> Alcotest.(check string) "decrypted on arrival" secret eth.Eth.payload
+  | _ -> Alcotest.fail "expected one datagram");
+  check_int "encrypted sent" 1 (LN.stats h1.S.localnet).LN.encrypted_sent;
+  check_int "encrypted received" 1 (LN.stats h2.S.localnet).LN.encrypted_received
+
+let test_encrypted_dropped_without_key () =
+  let net, svc = make_service () in
+  let hs = S.hosts svc in
+  let h1 = List.hd hs and h2 = List.nth hs 1 in
+  (* Only the sender holds the key. *)
+  LN.set_peer_key h1.S.localnet ~peer:h2.S.uid
+    (Autonet_host.Crypto.key_of_secret 0x111L);
+  let got = ref 0 in
+  LN.set_client_rx h2.S.localnet (fun _ -> incr got);
+  ignore
+    (S.send_datagram svc ~from:h1.S.uid
+       (Eth.make ~dst:h2.S.uid ~src:h1.S.uid ~ethertype:0x0800 ~payload:"x"));
+  N.run_for net (Time.ms 50);
+  check_int "not delivered to the client" 0 !got;
+  check_int "counted undecryptable" 1
+    (LN.stats h2.S.localnet).LN.undecryptable_dropped
+
+let test_bridge_refuses_encrypted () =
+  let engine = Engine.create () in
+  let to_e = ref 0 in
+  let b =
+    Bridge.create ~engine ~bridge_uid:(uid 0xB1D)
+      ~to_autonet:(fun _ -> ())
+      ~to_ethernet:(fun _ -> incr to_e)
+      ()
+  in
+  let key = Autonet_host.Crypto.key_of_secret 7L in
+  Bridge.from_autonet b
+    (Packet.client
+       ~enc_info:(Autonet_host.Crypto.header key)
+       ~dst:(sa 0x100) ~src:(sa 0x20)
+       (Eth.make ~dst:(uid 9) ~src:(uid 1) ~ethertype:0x0800 ~payload:"s3cr3t"));
+  Engine.run engine;
+  check_int "not forwarded" 0 !to_e;
+  check_int "refused" 1 (Bridge.stats b).Bridge.refused_encrypted
+
+(* ------------------------------------------------------------------ *)
+(* Driver failover *)
+
+let test_driver_failover_on_switch_crash () =
+  let net, svc = make_service () in
+  let h1 = List.hd (S.hosts svc) in
+  let sw, _ = D.active h1.S.driver in
+  let t0 = N.now net in
+  N.apply_fault net (F.Switch_down sw);
+  let deadline = Time.add t0 (Time.s 30) in
+  let rec wait () =
+    let st = D.stats h1.S.driver in
+    if st.D.failovers >= 1 && D.address h1.S.driver <> None then ()
+    else if N.now net > deadline then Alcotest.fail "no failover"
+    else begin
+      N.run_for net (Time.ms 20);
+      wait ()
+    end
+  in
+  wait ();
+  check_bool "moved to the alternate switch" true
+    (fst (D.active h1.S.driver) <> sw);
+  (* Detection + adoption within the paper's few seconds. *)
+  let took = Time.sub (N.now net) t0 in
+  check_bool
+    (Format.asprintf "took %a" Time.pp took)
+    true
+    (took < Time.s 10)
+
+let test_driver_force_switch () =
+  let net, svc = make_service () in
+  let h1 = List.hd (S.hosts svc) in
+  let before = D.active h1.S.driver in
+  D.force_switch h1.S.driver;
+  check_bool "switched" true (D.active h1.S.driver <> before);
+  check_bool "address forgotten" true (D.address h1.S.driver = None);
+  (* It reacquires on the new port. *)
+  N.run_for net (Time.s 2);
+  check_bool "reacquired" true (D.address h1.S.driver <> None)
+
+let test_driver_ping_pong_when_both_dead () =
+  let net, svc = make_service () in
+  let h1 = List.hd (S.hosts svc) in
+  let atts = Graph.host_attachments (N.graph net) h1.S.uid in
+  List.iter
+    (fun (a : Graph.host_attachment) ->
+      N.apply_fault net (F.Switch_down a.Graph.switch))
+    atts;
+  N.run_for net (Time.s 40);
+  let st = D.stats h1.S.driver in
+  check_bool "kept trying both links" true (st.D.failovers >= 2);
+  check_bool "no address" true (D.address h1.S.driver = None)
+
+(* ------------------------------------------------------------------ *)
+(* Bridge *)
+
+let make_bridge () =
+  let engine = Engine.create () in
+  let to_a = ref 0 and to_e = ref 0 in
+  let b =
+    Bridge.create ~engine ~bridge_uid:(uid 0xB1D)
+      ~to_autonet:(fun _ -> incr to_a)
+      ~to_ethernet:(fun _ -> incr to_e)
+      ()
+  in
+  (engine, b, to_a, to_e)
+
+let client_pkt ~src_uid ~src_addr ~dst_uid ~payload =
+  Packet.client ~dst:(sa 0x100) ~src:src_addr
+    (Eth.make ~dst:dst_uid ~src:src_uid ~ethertype:0x0800 ~payload)
+
+let test_bridge_forwards_unknown () =
+  let engine, b, _, to_e = make_bridge () in
+  Bridge.from_autonet b
+    (client_pkt ~src_uid:(uid 1) ~src_addr:(sa 0x20) ~dst_uid:(uid 2) ~payload:"x");
+  Engine.run engine;
+  check_int "flooded across" 1 !to_e
+
+let test_bridge_discards_same_side () =
+  let engine, b, _, to_e = make_bridge () in
+  (* Teach it that uid 2 is on the Autonet. *)
+  Bridge.from_autonet b
+    (client_pkt ~src_uid:(uid 2) ~src_addr:(sa 0x21) ~dst_uid:(uid 9) ~payload:"hi");
+  Engine.run engine;
+  let before = !to_e in
+  Bridge.from_autonet b
+    (client_pkt ~src_uid:(uid 1) ~src_addr:(sa 0x20) ~dst_uid:(uid 2) ~payload:"x");
+  Engine.run engine;
+  check_int "not forwarded" before !to_e;
+  check_bool "counted as discard" true ((Bridge.stats b).Bridge.discarded >= 1)
+
+let test_bridge_ethernet_to_autonet () =
+  let engine, b, to_a, _ = make_bridge () in
+  (* uid 5 lives on Autonet. *)
+  Bridge.from_autonet b
+    (client_pkt ~src_uid:(uid 5) ~src_addr:(sa 0x25) ~dst_uid:(uid 9) ~payload:"hi");
+  Engine.run engine;
+  Bridge.from_ethernet b
+    (Eth.make ~dst:(uid 5) ~src:(uid 6) ~ethertype:0x0800 ~payload:"eth");
+  Engine.run engine;
+  check_int "crossed to autonet" 1 !to_a
+
+let test_bridge_throughput_envelope () =
+  (* The paper's numbers: ~5000 small discards/s, ~1000 small forwards/s,
+     200-300 large forwards/s. *)
+  let rate ~bytes ~discard =
+    let engine, b, _, _ = make_bridge () in
+    (* Teach: uid 2 on Autonet (for discards of Autonet->Autonet). *)
+    Bridge.from_autonet b
+      (client_pkt ~src_uid:(uid 2) ~src_addr:(sa 0x21) ~dst_uid:(uid 9) ~payload:"t");
+    Engine.run engine;
+    let n = 2000 in
+    let t0 = Engine.now engine in
+    (* Feed the queue steadily for one simulated second. *)
+    for i = 0 to n - 1 do
+      ignore
+        (Engine.schedule_at engine
+           ~time:(Time.add t0 (Time.ns (i * 1_000_000_000 / n)))
+           (fun () ->
+             let dst = if discard then uid 2 else uid 99 in
+             Bridge.from_autonet b
+               (client_pkt ~src_uid:(uid 1) ~src_addr:(sa 0x20) ~dst_uid:dst
+                  ~payload:(String.make (max 1 (bytes - 54)) 'x'))))
+    done;
+    Engine.run engine ~until:(Time.add t0 (Time.s 1));
+    let st = Bridge.stats b in
+    if discard then st.Bridge.discarded else st.Bridge.forwarded_to_ethernet
+  in
+  let small_discards = rate ~bytes:66 ~discard:true in
+  let small_forwards = rate ~bytes:66 ~discard:false in
+  let large_forwards = rate ~bytes:1514 ~discard:false in
+  check_bool
+    (Printf.sprintf "small discards %d/s" small_discards)
+    true
+    (small_discards >= 1900);
+  (* ~5000/s capacity, but we only offered 2000. *)
+  check_bool
+    (Printf.sprintf "small forwards %d/s" small_forwards)
+    true
+    (small_forwards >= 900 && small_forwards <= 1300);
+  check_bool
+    (Printf.sprintf "large forwards %d/s" large_forwards)
+    true
+    (large_forwards >= 180 && large_forwards <= 330)
+
+let () =
+  Alcotest.run "host"
+    [ ( "arp",
+        [ Alcotest.test_case "roundtrip" `Quick test_arp_roundtrip;
+          Alcotest.test_case "rejects non-arp" `Quick test_arp_rejects_non_arp ] );
+      ( "uid_cache",
+        [ Alcotest.test_case "learn/find" `Quick test_cache_learn_find;
+          Alcotest.test_case "creates broadcast entry" `Quick
+            test_cache_lookup_creates_broadcast_entry;
+          Alcotest.test_case "staleness window" `Quick test_cache_staleness_window;
+          Alcotest.test_case "expire" `Quick test_cache_expire;
+          Alcotest.test_case "updated_since" `Quick test_cache_updated_since;
+          Alcotest.test_case "network tags" `Quick test_cache_network_tags ] );
+      ( "localnet",
+        [ Alcotest.test_case "end to end" `Quick test_localnet_end_to_end;
+          Alcotest.test_case "learns and goes direct" `Quick
+            test_localnet_learns_and_goes_direct;
+          Alcotest.test_case "broadcast datagram" `Quick
+            test_localnet_broadcast_datagram;
+          Alcotest.test_case "few broadcasts steady state" `Quick
+            test_localnet_few_broadcasts_in_steady_state;
+          Alcotest.test_case "survives renumbering" `Slow
+            test_localnet_survives_renumbering ] );
+      ( "driver",
+        [ Alcotest.test_case "failover on crash" `Quick
+            test_driver_failover_on_switch_crash;
+          Alcotest.test_case "force switch" `Quick test_driver_force_switch;
+          Alcotest.test_case "ping pong when dark" `Slow
+            test_driver_ping_pong_when_both_dead ] );
+      ( "encryption",
+        [ Alcotest.test_case "cipher roundtrip" `Quick test_crypto_roundtrip;
+          Alcotest.test_case "header" `Quick test_crypto_header;
+          Alcotest.test_case "end to end" `Quick test_encrypted_datagram_end_to_end;
+          Alcotest.test_case "dropped without key" `Quick
+            test_encrypted_dropped_without_key;
+          Alcotest.test_case "bridge refuses" `Quick test_bridge_refuses_encrypted ] );
+      ( "bridge",
+        [ Alcotest.test_case "forwards unknown" `Quick test_bridge_forwards_unknown;
+          Alcotest.test_case "discards same side" `Quick
+            test_bridge_discards_same_side;
+          Alcotest.test_case "ethernet to autonet" `Quick
+            test_bridge_ethernet_to_autonet;
+          Alcotest.test_case "throughput envelope" `Slow
+            test_bridge_throughput_envelope ] ) ]

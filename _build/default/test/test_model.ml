@@ -1,0 +1,257 @@
+(* Model-based property tests: the event engine, the FIFO and the
+   scheduling engine against simple reference models, plus decoder fuzzing
+   — the "does the substrate itself hold up under arbitrary use" layer
+   beneath the protocol tests. *)
+
+open Autonet_net
+module Engine = Autonet_sim.Engine
+module Pqueue = Autonet_sim.Pqueue
+module Fifo = Autonet_net.Fifo
+module PV = Autonet_switch.Port_vector
+module Sch = Autonet_switch.Scheduler
+
+
+(* ------------------------------------------------------------------ *)
+(* Engine vs a reference: random schedules and cancellations. *)
+
+let engine_model =
+  QCheck.Test.make ~name:"engine fires exactly the live events, in order"
+    ~count:100
+    QCheck.(small_list (pair (int_bound 1000) bool))
+    (fun plan ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      let expected = ref [] in
+      List.iteri
+        (fun i (delay, cancel) ->
+          let h = Engine.schedule e ~delay (fun () -> fired := i :: !fired) in
+          if cancel then Engine.cancel h
+          else expected := (delay, i) :: !expected)
+        plan;
+      Engine.run e;
+      (* Non-cancelled events fire exactly once, ordered by (time, seq). *)
+      let want =
+        List.sort compare !expected |> List.map snd
+      in
+      List.rev !fired = want)
+
+let pqueue_model =
+  QCheck.Test.make ~name:"pqueue pops in key order" ~count:200
+    QCheck.(list (int_bound 500))
+    (fun keys ->
+      let q = Pqueue.create () in
+      List.iteri (fun i k -> Pqueue.add q ~time:k ~seq:i k) keys;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | Some (t, _, _) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.stable_sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Fifo vs Queue. *)
+
+let fifo_model =
+  QCheck.Test.make ~name:"fifo behaves like a bounded queue" ~count:200
+    QCheck.(pair (int_range 1 32) (small_list (option (int_bound 255))))
+    (fun (cap, ops) ->
+      let f = Fifo.create ~capacity:cap ~zero:(-1) () in
+      let model = Queue.create () in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some v ->
+            (* push; the model drops when full, like the hardware *)
+            Fifo.push f v;
+            if Queue.length model < cap then Queue.add v model
+          | None -> (
+            match (Fifo.pop f, Queue.take_opt model) with
+            | Some a, Some b -> if a <> b then ok := false
+            | None, None -> ()
+            | _ -> ok := false))
+        ops;
+      let stop_level = int_of_float (Float.round (0.5 *. float_of_int cap)) in
+      !ok
+      && Fifo.occupancy f = Queue.length model
+      && Fifo.above_threshold f = (Queue.length model > stop_level))
+
+let fifo_overflow_flag =
+  QCheck.Test.make ~name:"fifo overflow flag is exactly overfilling"
+    ~count:200
+    QCheck.(pair (int_range 1 16) (int_range 0 32))
+    (fun (cap, pushes) ->
+      let f = Fifo.create ~capacity:cap ~zero:0 () in
+      for i = 1 to pushes do
+        Fifo.push f i
+      done;
+      Fifo.overflowed f = (pushes > cap)
+      && Fifo.occupancy f = min cap pushes
+      && Fifo.max_occupancy f = min cap pushes)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler invariants under random traffic. *)
+
+type sched_model = {
+  mutable pending : (int * int list * bool) list; (* in_port, ports, bcast *)
+  mutable busy : PV.t;
+}
+
+let scheduler_invariants =
+  QCheck.Test.make
+    ~name:"scheduler: grants are requested ports, no double bookings"
+    ~count:150
+    QCheck.(
+      small_list
+        (triple (int_range 1 12) (list_of_size Gen.(1 -- 3) (int_range 0 12)) bool))
+    (fun reqs ->
+      let s = Sch.create () in
+      let m = { pending = []; busy = PV.empty } in
+      let ok = ref true in
+      List.iter
+        (fun (in_port, ports, bcast) ->
+          let vector = PV.of_list ports in
+          let accepted = Sch.request s ~in_port ~vector ~broadcast:bcast in
+          let had = List.exists (fun (p, _, _) -> p = in_port) m.pending in
+          if accepted = had then ok := false (* must mirror head-of-line *)
+          else if accepted then
+            m.pending <- m.pending @ [ (in_port, ports, bcast) ];
+          (* One scheduling round against the currently free ports. *)
+          let free = PV.diff (PV.full ~n_ports:12) m.busy in
+          let grants = Sch.round s ~free in
+          List.iter
+            (fun (g : Sch.grant) ->
+              (* The grant must correspond to a pending request and only
+                 use requested, free ports. *)
+              (match
+                 List.find_opt (fun (p, _, _) -> p = g.Sch.in_port) m.pending
+               with
+              | None -> ok := false
+              | Some (_, want, b) ->
+                if b <> g.Sch.broadcast then ok := false;
+                List.iter
+                  (fun p ->
+                    if not (List.mem p want) then ok := false;
+                    if PV.mem p m.busy then ok := false;
+                    m.busy <- PV.add p m.busy)
+                  (PV.to_list g.Sch.out_ports));
+              m.pending <-
+                List.filter (fun (p, _, _) -> p <> g.Sch.in_port) m.pending)
+            grants;
+          (* Occasionally free a busy port (packet finished). *)
+          match PV.lowest m.busy with
+          | Some p when in_port mod 3 = 0 -> m.busy <- PV.remove p m.busy
+          | _ -> ())
+        reqs;
+      !ok && Sch.pending s = List.length m.pending)
+
+let scheduler_fcfc_priority =
+  QCheck.Test.make
+    ~name:"scheduler: an older request always beats a younger one for a port"
+    ~count:200
+    QCheck.(pair (int_range 0 12) (int_range 0 12))
+    (fun (a, b) ->
+      let s = Sch.create () in
+      ignore (Sch.request s ~in_port:1 ~vector:(PV.singleton a) ~broadcast:false);
+      ignore (Sch.request s ~in_port:2 ~vector:(PV.singleton b) ~broadcast:false);
+      match Sch.round s ~free:(PV.of_list [ a; b ]) with
+      | [] -> false
+      | first :: _ ->
+        (* Port contention (a = b): the older request (in_port 1) wins. *)
+        if a = b then first.Sch.in_port = 1 else true)
+
+(* ------------------------------------------------------------------ *)
+(* Decoder fuzzing: arbitrary bytes never crash, only clean errors. *)
+
+let message_fuzz =
+  QCheck.Test.make ~name:"message decoder is total" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 80))
+    (fun s ->
+      match Autonet_autopilot.Messages.decode s with
+      | _ -> true
+      | exception (Wire.Truncated | Wire.Malformed _) -> true
+      | exception Invalid_argument _ -> true (* e.g. out-of-range address *))
+
+let packet_fuzz =
+  QCheck.Test.make ~name:"packet decoder is total" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 120))
+    (fun s ->
+      match Packet.decode s with
+      | _, _ -> true
+      | exception Wire.Truncated -> true)
+
+let message_roundtrip_via_packet =
+  QCheck.Test.make ~name:"message -> packet -> bytes -> message" ~count:200
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 100))
+    (fun (token, port) ->
+      let msg =
+        Autonet_autopilot.Messages.Conn_test
+          { token;
+            src_uid = Uid.of_int (port * 7);
+            src_port = (port mod 12) + 1;
+            sw_version = 1 + (token mod 5) }
+      in
+      let pkt = Autonet_autopilot.Messages.to_packet msg in
+      let bytes = Packet.encode pkt in
+      let pkt', ok = Packet.decode bytes in
+      ok
+      && Autonet_autopilot.Messages.encode
+           (Autonet_autopilot.Messages.of_packet pkt')
+         = Autonet_autopilot.Messages.encode msg)
+
+(* ------------------------------------------------------------------ *)
+(* Routes: reported distance equals walked distance. *)
+
+let routes_distance_consistent =
+  QCheck.Test.make ~name:"route walk length equals reported distance"
+    ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Autonet_sim.Rng.create ~seed:(Int64.of_int (seed + 5)) in
+      let topo = Testlib.random_topology rng ~max_n:10 in
+      let c = Testlib.configure topo in
+      let module G = Autonet_core.Graph in
+      let module R = Autonet_core.Routes in
+      let g = c.Testlib.graph in
+      List.for_all
+        (fun src ->
+          List.for_all
+            (fun dst ->
+              match R.distance c.Testlib.routes ~src ~dst with
+              | None -> false
+              | Some d ->
+                let rec walk at phase steps =
+                  if at = dst then steps
+                  else if steps > d then steps (* overshoot = failure *)
+                  else
+                    match R.next_hops c.Testlib.routes ~at ~phase ~dst with
+                    | [] -> max_int
+                    | (_, l_id) :: _ ->
+                      let l = Option.get (G.link g l_id) in
+                      let peer, _ = G.other_end l at in
+                      let up =
+                        Autonet_core.Updown.goes_up c.Testlib.updown l ~from:at
+                      in
+                      walk peer (if up then phase else R.Down) (steps + 1)
+                in
+                walk src R.Up 0 = d)
+            (G.switches g))
+        (G.switches g))
+
+let () =
+  Alcotest.run "model"
+    [ ( "engine",
+        [ QCheck_alcotest.to_alcotest engine_model;
+          QCheck_alcotest.to_alcotest pqueue_model ] );
+      ( "fifo",
+        [ QCheck_alcotest.to_alcotest fifo_model;
+          QCheck_alcotest.to_alcotest fifo_overflow_flag ] );
+      ( "scheduler",
+        [ QCheck_alcotest.to_alcotest scheduler_invariants;
+          QCheck_alcotest.to_alcotest scheduler_fcfc_priority ] );
+      ( "fuzz",
+        [ QCheck_alcotest.to_alcotest message_fuzz;
+          QCheck_alcotest.to_alcotest packet_fuzz;
+          QCheck_alcotest.to_alcotest message_roundtrip_via_packet ] );
+      ( "routes",
+        [ QCheck_alcotest.to_alcotest routes_distance_consistent ] ) ]

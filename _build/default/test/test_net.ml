@@ -1,0 +1,404 @@
+(* Tests for UIDs, short addresses, wire codecs, CRC, packets, FIFOs and
+   channels. *)
+
+open Autonet_net
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Uid *)
+
+let test_uid_roundtrip () =
+  let u = Uid.of_int 0x0000_2a01 in
+  check_int "roundtrip" 0x2a01 (Uid.to_int u);
+  check_string "pp" "00:00:00:00:2a:01" (Uid.to_string u)
+
+let test_uid_bounds () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Uid.of_int: -1 is not a 48-bit value") (fun () ->
+      ignore (Uid.of_int (-1)));
+  ignore (Uid.of_int ((1 lsl 48) - 1))
+
+let test_uid_order () =
+  check_bool "less" true (Uid.compare (Uid.of_int 1) (Uid.of_int 2) < 0);
+  check_bool "min" true (Uid.equal (Uid.min (Uid.of_int 5) (Uid.of_int 3)) (Uid.of_int 3))
+
+(* ------------------------------------------------------------------ *)
+(* Short addresses *)
+
+let sa = Short_address.of_int
+
+let test_address_classes () =
+  let open Short_address in
+  let cases =
+    [ (0x0000, To_local_switch);
+      (0x0001, One_hop 1);
+      (0x000F, One_hop 15);
+      (0x0010, Assigned (1, 0));
+      (0x0017, Assigned (1, 7));
+      (0x1234, Assigned (0x123, 4));
+      (0xFFEF, Assigned (0xFFE, 15));
+      (0xFFF0, Reserved);
+      (0xFFFB, Reserved);
+      (0xFFFC, Loopback);
+      (0xFFFD, Broadcast_all);
+      (0xFFFE, Broadcast_switches);
+      (0xFFFF, Broadcast_hosts) ]
+  in
+  List.iter
+    (fun (v, expected) ->
+      let got = classify (sa v) in
+      if got <> expected then
+        Alcotest.failf "classify 0x%04X: got %s" v
+          (Format.asprintf "%a" pp_cls got))
+    cases
+
+let test_address_classes_exhaustive () =
+  (* Every 16-bit value classifies without exception and the classes
+     partition the space per the paper's table. *)
+  let counts = Hashtbl.create 8 in
+  for v = 0 to 0xFFFF do
+    let cls = Short_address.classify (sa v) in
+    let key =
+      match cls with
+      | Short_address.To_local_switch -> "local"
+      | One_hop _ -> "onehop"
+      | Assigned _ -> "assigned"
+      | Reserved -> "reserved"
+      | Loopback -> "loopback"
+      | Broadcast_all | Broadcast_switches | Broadcast_hosts -> "broadcast"
+    in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  check_int "local" 1 (get "local");
+  check_int "onehop" 15 (get "onehop");
+  check_int "assigned" (0xFFEF - 0x0010 + 1) (get "assigned");
+  check_int "reserved" 12 (get "reserved");
+  check_int "loopback" 1 (get "loopback");
+  check_int "broadcast" 3 (get "broadcast")
+
+let test_address_assignment_split () =
+  let a = Short_address.assigned ~switch_number:0x123 ~port:4 in
+  check_int "value" 0x1234 (Short_address.to_int a);
+  (match Short_address.split a with
+  | Some (s, p) ->
+    check_int "switch" 0x123 s;
+    check_int "port" 4 p
+  | None -> Alcotest.fail "split failed");
+  check_bool "special addresses do not split" true
+    (Short_address.split Short_address.broadcast_all = None);
+  check_bool "one-hop does not split" true
+    (Short_address.split (Short_address.one_hop ~port:3) = None)
+
+let test_address_assignment_bounds () =
+  Alcotest.check_raises "switch 0"
+    (Invalid_argument "Short_address.assigned: switch number 0") (fun () ->
+      ignore (Short_address.assigned ~switch_number:0 ~port:1));
+  Alcotest.check_raises "switch too big"
+    (Invalid_argument "Short_address.assigned: switch number 4095") (fun () ->
+      ignore (Short_address.assigned ~switch_number:0xFFF ~port:0));
+  ignore (Short_address.assigned ~switch_number:0xFFE ~port:15)
+
+let test_address_broadcast_predicate () =
+  check_bool "fffd" true (Short_address.is_broadcast Short_address.broadcast_all);
+  check_bool "ffff" true (Short_address.is_broadcast Short_address.broadcast_hosts);
+  check_bool "fffc" false (Short_address.is_broadcast Short_address.loopback);
+  check_bool "assigned" false (Short_address.is_broadcast (sa 0x0123))
+
+(* ------------------------------------------------------------------ *)
+(* Link commands *)
+
+let test_command_flow_control_class () =
+  let open Command in
+  List.iter
+    (fun c -> check_bool "fc" true (is_flow_control c))
+    [ Start; Stop; Host; Idhy ];
+  List.iter
+    (fun c -> check_bool "not fc" false (is_flow_control c))
+    [ Sync; Begin; End; Panic ]
+
+let test_command_slot_equality () =
+  let open Command in
+  check_bool "data eq" true (equal_slot (Data 5) (Data 5));
+  check_bool "data neq" false (equal_slot (Data 5) (Data 6));
+  check_bool "cmd eq" true (equal_slot (Command Start) (Command Start));
+  check_bool "mixed" false (equal_slot (Data 0) (Command Sync))
+
+let test_command_constants () =
+  check_int "fc period" 256 Command.flow_control_period;
+  check_int "slot ns" 80 Command.slot_ns;
+  (* 2 km at 64.1 slots/km is the paper's W = 128.2. *)
+  Alcotest.(check (float 0.001)) "W formula" 128.2 (Command.slots_per_km *. 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Wire *)
+
+let test_wire_roundtrip () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u8 w 0xAB;
+  Wire.Writer.u16 w 0x1234;
+  Wire.Writer.u32 w 0xDEADBEEF;
+  Wire.Writer.u48 w 0x0123_4567_89AB;
+  Wire.Writer.u64 w 0x0102030405060708L;
+  Wire.Writer.lstring w "hello";
+  Wire.Writer.list w (fun x -> Wire.Writer.u16 w x) [ 1; 2; 3 ];
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  check_int "u8" 0xAB (Wire.Reader.u8 r);
+  check_int "u16" 0x1234 (Wire.Reader.u16 r);
+  check_int "u32" 0xDEADBEEF (Wire.Reader.u32 r);
+  check_int "u48" 0x0123_4567_89AB (Wire.Reader.u48 r);
+  Alcotest.(check int64) "u64" 0x0102030405060708L (Wire.Reader.u64 r);
+  check_string "lstring" "hello" (Wire.Reader.lstring r);
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ]
+    (Wire.Reader.list r (fun r -> Wire.Reader.u16 r));
+  Wire.Reader.expect_end r
+
+let test_wire_truncated () =
+  let r = Wire.Reader.of_string "\x01" in
+  Alcotest.check_raises "short" Wire.Truncated (fun () ->
+      ignore (Wire.Reader.u16 r))
+
+let test_wire_trailing () =
+  let r = Wire.Reader.of_string "\x01\x02" in
+  ignore (Wire.Reader.u8 r);
+  Alcotest.check_raises "trailing" (Wire.Malformed "1 trailing bytes")
+    (fun () -> Wire.Reader.expect_end r)
+
+let wire_qcheck =
+  QCheck.Test.make ~name:"wire u16/u32 roundtrip" ~count:500
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (a, b) ->
+      let w = Wire.Writer.create () in
+      Wire.Writer.u16 w a;
+      Wire.Writer.u32 w ((b lsl 16) lor a);
+      let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+      Wire.Reader.u16 r = a && Wire.Reader.u32 r = (b lsl 16) lor a)
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 *)
+
+let test_crc_known_values () =
+  (* Standard test vector: CRC32("123456789") = 0xCBF43926. *)
+  Alcotest.(check int32) "check value" 0xCBF43926l (Crc32.string "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.string "")
+
+let test_crc_incremental () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let whole = Crc32.string s in
+  let c = Crc32.update Crc32.init s ~pos:0 ~len:10 in
+  let c = Crc32.update c s ~pos:10 ~len:(String.length s - 10) in
+  Alcotest.(check int32) "incremental" whole (Crc32.finalize c)
+
+let test_crc_detects_flip () =
+  let s = Bytes.of_string "some packet body" in
+  let before = Crc32.string (Bytes.to_string s) in
+  Bytes.set s 3 (Char.chr (Char.code (Bytes.get s 3) lxor 0x01));
+  check_bool "differs" true (before <> Crc32.string (Bytes.to_string s))
+
+(* ------------------------------------------------------------------ *)
+(* Packets *)
+
+let sample_eth ?(payload = "ping") () =
+  Eth.make ~dst:(Uid.of_int 0x42) ~src:(Uid.of_int 0x43) ~ethertype:0x0800
+    ~payload
+
+let test_packet_roundtrip () =
+  let p =
+    Packet.client ~dst:(sa 0x0123) ~src:(sa 0x0456) (sample_eth ())
+  in
+  let encoded = Packet.encode p in
+  check_int "wire size" (Packet.wire_size p) (String.length encoded);
+  let decoded, crc_ok = Packet.decode encoded in
+  check_bool "crc" true crc_ok;
+  check_bool "equal" true (Packet.equal p decoded);
+  let eth = Packet.eth_of_client decoded in
+  check_bool "eth" true (Eth.equal (sample_eth ()) eth)
+
+let test_packet_crc_detects_corruption () =
+  let p = Packet.client ~dst:(sa 0x0123) ~src:(sa 0x0456) (sample_eth ()) in
+  let encoded = Bytes.of_string (Packet.encode p) in
+  Bytes.set encoded 10 '\xFF';
+  let _, crc_ok = Packet.decode (Bytes.to_string encoded) in
+  check_bool "crc bad" false crc_ok
+
+let test_packet_header_size () =
+  (* The paper's header: 2 + 2 + 2 + 26 = 32 bytes; trailer 8 bytes. *)
+  check_int "header" 32 Packet.header_bytes;
+  check_int "trailer" 8 Packet.trailer_bytes;
+  let p = Packet.make ~dst:(sa 1) ~src:(sa 2) ~typ:Packet.Client ~body:"" () in
+  check_int "empty body wire size" 40 (Packet.wire_size p)
+
+let test_packet_max_broadcast () =
+  (* Maximal Ethernet payload + headers is about 1550 bytes. *)
+  check_int "max broadcast" (32 + 14 + 1500 + 8) Packet.max_broadcast_wire_size
+
+let test_packet_typ_roundtrip () =
+  List.iter
+    (fun t ->
+      check_bool "typ" true
+        (Packet.equal_typ t (Packet.typ_of_int (Packet.typ_to_int t))))
+    [ Packet.Client; Packet.Reconfiguration; Packet.Srp; Packet.Connectivity;
+      Packet.Other 9 ]
+
+let packet_qcheck =
+  QCheck.Test.make ~name:"packet encode/decode roundtrip" ~count:200
+    QCheck.(triple (int_bound 0xFFFF) (int_bound 0xFFFF) (string_of_size Gen.(int_bound 200)))
+    (fun (d, s, body) ->
+      let p =
+        Packet.make ~dst:(sa d) ~src:(sa s) ~typ:Packet.Srp ~body ()
+      in
+      let decoded, ok = Packet.decode (Packet.encode p) in
+      ok && Packet.equal p decoded)
+
+(* ------------------------------------------------------------------ *)
+(* Fifo *)
+
+let test_fifo_order () =
+  let f = Fifo.create ~capacity:8 ~zero:(Command.Command Command.Sync) () in
+  Fifo.push f (Command.Data 1);
+  Fifo.push f (Command.Data 2);
+  Fifo.push f (Command.Command Command.End);
+  check_int "occupancy" 3 (Fifo.occupancy f);
+  check_bool "pop 1" true (Fifo.pop f = Some (Command.Data 1));
+  check_bool "pop 2" true (Fifo.pop f = Some (Command.Data 2));
+  check_bool "pop end" true (Fifo.pop f = Some (Command.Command Command.End));
+  check_bool "empty" true (Fifo.pop f = None)
+
+let test_fifo_threshold () =
+  (* Capacity 8, f = 0.5: stop asserted when occupancy exceeds 4. *)
+  let f = Fifo.create ~capacity:8 ~zero:(Command.Command Command.Sync) () in
+  for i = 1 to 4 do
+    Fifo.push f (Command.Data i)
+  done;
+  check_bool "at threshold" false (Fifo.above_threshold f);
+  Fifo.push f (Command.Data 5);
+  check_bool "above" true (Fifo.above_threshold f);
+  ignore (Fifo.pop f);
+  check_bool "below again" false (Fifo.above_threshold f)
+
+let test_fifo_threshold_fraction () =
+  (* f = 0.25: stop asserted above 75% occupancy. *)
+  let f = Fifo.create ~threshold_free_fraction:0.25 ~capacity:100 ~zero:(Command.Command Command.Sync) () in
+  for _ = 1 to 75 do
+    Fifo.push f (Command.Data 0)
+  done;
+  check_bool "at 75" false (Fifo.above_threshold f);
+  Fifo.push f (Command.Data 0);
+  check_bool "above 75" true (Fifo.above_threshold f)
+
+let test_fifo_overflow () =
+  let f = Fifo.create ~capacity:2 ~zero:(Command.Command Command.Sync) () in
+  Fifo.push f (Command.Data 1);
+  Fifo.push f (Command.Data 2);
+  check_bool "no overflow yet" false (Fifo.overflowed f);
+  Fifo.push f (Command.Data 3);
+  check_bool "overflowed" true (Fifo.overflowed f);
+  check_int "dropped" 2 (Fifo.occupancy f);
+  Fifo.clear_overflow f;
+  check_bool "cleared" false (Fifo.overflowed f)
+
+let test_fifo_high_water () =
+  let f = Fifo.create ~capacity:16 ~zero:(Command.Command Command.Sync) () in
+  for _ = 1 to 10 do
+    Fifo.push f (Command.Data 0)
+  done;
+  for _ = 1 to 10 do
+    ignore (Fifo.pop f)
+  done;
+  check_int "high water" 10 (Fifo.max_occupancy f);
+  Fifo.reset_stats f;
+  check_int "reset" 0 (Fifo.max_occupancy f)
+
+let test_fifo_wraparound () =
+  let f = Fifo.create ~capacity:4 ~zero:(Command.Command Command.Sync) () in
+  for round = 0 to 9 do
+    Fifo.push f (Command.Data round);
+    check_bool "fifo order across wrap" true (Fifo.pop f = Some (Command.Data round))
+  done
+
+let test_fifo_peek_at () =
+  let f = Fifo.create ~capacity:8 ~zero:(Command.Command Command.Sync) () in
+  Fifo.push f (Command.Data 0xAA);
+  Fifo.push f (Command.Data 0xBB);
+  check_bool "peek 0" true (Fifo.peek_at f 0 = Some (Command.Data 0xAA));
+  check_bool "peek 1" true (Fifo.peek_at f 1 = Some (Command.Data 0xBB));
+  check_bool "peek 2" true (Fifo.peek_at f 2 = None);
+  check_int "not consumed" 2 (Fifo.occupancy f)
+
+(* ------------------------------------------------------------------ *)
+(* Channel *)
+
+let test_channel_delay () =
+  let ch = Channel.create ~idle:(Command.Command Command.Sync) ~delay_slots:3 in
+  let out1 = Channel.tick ch ~input:(Command.Data 1) in
+  let out2 = Channel.tick ch ~input:(Command.Data 2) in
+  let out3 = Channel.tick ch ~input:(Command.Data 3) in
+  let out4 = Channel.tick ch ~input:(Command.Command Command.Sync) in
+  check_bool "sync first" true (out1 = Command.Command Command.Sync);
+  check_bool "sync second" true (out2 = Command.Command Command.Sync);
+  check_bool "sync third" true (out3 = Command.Command Command.Sync);
+  check_bool "data emerges" true (out4 = Command.Data 1)
+
+let test_channel_length_formula () =
+  (* Paper: W = 64.1 L slots; 2 km -> 129 slots (ceiling). *)
+  check_int "2km" 129 (Channel.delay_of_length_km 2.0);
+  check_int "100m" 7 (Channel.delay_of_length_km 0.1);
+  check_int "zero length still 1 slot" 1 (Channel.delay_of_length_km 0.0)
+
+let test_channel_fill () =
+  let ch = Channel.create ~idle:(Command.Command Command.Sync) ~delay_slots:2 in
+  Channel.fill ch (Command.Data 7);
+  check_bool "filled" true
+    (Channel.tick ch ~input:(Command.Command Command.Sync) = Command.Data 7)
+
+let () =
+  Alcotest.run "net"
+    [ ( "uid",
+        [ Alcotest.test_case "roundtrip" `Quick test_uid_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_uid_bounds;
+          Alcotest.test_case "order" `Quick test_uid_order ] );
+      ( "short_address",
+        [ Alcotest.test_case "classes" `Quick test_address_classes;
+          Alcotest.test_case "exhaustive partition" `Quick
+            test_address_classes_exhaustive;
+          Alcotest.test_case "assignment split" `Quick test_address_assignment_split;
+          Alcotest.test_case "assignment bounds" `Quick test_address_assignment_bounds;
+          Alcotest.test_case "broadcast predicate" `Quick
+            test_address_broadcast_predicate ] );
+      ( "command",
+        [ Alcotest.test_case "flow control class" `Quick
+            test_command_flow_control_class;
+          Alcotest.test_case "slot equality" `Quick test_command_slot_equality;
+          Alcotest.test_case "constants" `Quick test_command_constants ] );
+      ( "wire",
+        [ Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "truncated" `Quick test_wire_truncated;
+          Alcotest.test_case "trailing" `Quick test_wire_trailing;
+          QCheck_alcotest.to_alcotest wire_qcheck ] );
+      ( "crc32",
+        [ Alcotest.test_case "known values" `Quick test_crc_known_values;
+          Alcotest.test_case "incremental" `Quick test_crc_incremental;
+          Alcotest.test_case "detects bit flip" `Quick test_crc_detects_flip ] );
+      ( "packet",
+        [ Alcotest.test_case "roundtrip" `Quick test_packet_roundtrip;
+          Alcotest.test_case "crc detects corruption" `Quick
+            test_packet_crc_detects_corruption;
+          Alcotest.test_case "header sizes" `Quick test_packet_header_size;
+          Alcotest.test_case "max broadcast size" `Quick test_packet_max_broadcast;
+          Alcotest.test_case "typ roundtrip" `Quick test_packet_typ_roundtrip;
+          QCheck_alcotest.to_alcotest packet_qcheck ] );
+      ( "fifo",
+        [ Alcotest.test_case "order" `Quick test_fifo_order;
+          Alcotest.test_case "threshold" `Quick test_fifo_threshold;
+          Alcotest.test_case "threshold fraction" `Quick test_fifo_threshold_fraction;
+          Alcotest.test_case "overflow" `Quick test_fifo_overflow;
+          Alcotest.test_case "high water" `Quick test_fifo_high_water;
+          Alcotest.test_case "wraparound" `Quick test_fifo_wraparound;
+          Alcotest.test_case "peek_at" `Quick test_fifo_peek_at ] );
+      ( "channel",
+        [ Alcotest.test_case "delay" `Quick test_channel_delay;
+          Alcotest.test_case "length formula" `Quick test_channel_length_formula;
+          Alcotest.test_case "fill" `Quick test_channel_fill ] ) ]

@@ -1,0 +1,273 @@
+(* Tests for the discrete-event engine, PRNG, priority queue and tracing. *)
+
+open Autonet_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time.us 1);
+  check_int "ms" 1_000_000 (Time.ms 1);
+  check_int "s" 1_000_000_000 (Time.s 1);
+  check_int "of_float_s" 1_500_000_000 (Time.of_float_s 1.5);
+  Alcotest.(check (float 1e-9)) "to_float_s" 0.25 (Time.to_float_s (Time.ms 250))
+
+let test_time_pp () =
+  let s t = Format.asprintf "%a" Time.pp t in
+  Alcotest.(check string) "ns" "999 ns" (s 999);
+  Alcotest.(check string) "us" "1.500 us" (s 1500);
+  Alcotest.(check string) "ms" "2.000 ms" (s (Time.ms 2));
+  Alcotest.(check string) "s" "3.000 s" (s (Time.s 3))
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~time:30 ~seq:0 "c";
+  Pqueue.add q ~time:10 ~seq:1 "a";
+  Pqueue.add q ~time:20 ~seq:2 "b";
+  let pop () =
+    match Pqueue.pop q with Some (_, _, v) -> v | None -> "-"
+  in
+  (* Bind in sequence: list literals evaluate right to left. *)
+  let x = pop () in
+  let y = pop () in
+  let z = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ x; y; z ]
+
+let test_pqueue_tie_break () =
+  let q = Pqueue.create () in
+  for i = 0 to 9 do
+    Pqueue.add q ~time:5 ~seq:i i
+  done;
+  let order = List.init 10 (fun _ ->
+      match Pqueue.pop q with Some (_, _, v) -> v | None -> -1)
+  in
+  Alcotest.(check (list int)) "fifo within an instant" (List.init 10 Fun.id) order
+
+let test_pqueue_stress () =
+  let rng = Rng.create ~seed:42L in
+  let q = Pqueue.create () in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    Pqueue.add q ~time:(Rng.int rng 1000) ~seq:i i
+  done;
+  check_int "length" n (Pqueue.length q);
+  let last = ref (-1) in
+  let ok = ref true in
+  for _ = 1 to n do
+    match Pqueue.pop q with
+    | Some (t, _, _) ->
+      if t < !last then ok := false;
+      last := t
+    | None -> ok := false
+  done;
+  check_bool "monotone" true !ok;
+  check_bool "drained" true (Pqueue.is_empty q)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.schedule e ~delay:20 (note "b"));
+  ignore (Engine.schedule e ~delay:10 (note "a"));
+  ignore (Engine.schedule e ~delay:30 (note "c"));
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_int "clock at last event" 30 (Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Engine.schedule e ~delay:5 (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:10 (fun () -> fired := true) in
+  check_int "pending" 1 (Engine.pending e);
+  Engine.cancel h;
+  check_int "pending after cancel" 0 (Engine.pending e);
+  Engine.run e;
+  check_bool "not fired" false !fired;
+  check_bool "cancelled" true (Engine.cancelled h)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Engine.schedule e ~delay:10 tick)
+  in
+  ignore (Engine.schedule e ~delay:10 tick);
+  Engine.run e ~until:100;
+  check_int "ticks within horizon" 10 !count;
+  check_int "clock parked at horizon" 100 (Engine.now e);
+  (* Resuming runs the events beyond the old horizon. *)
+  Engine.run e ~until:150;
+  check_int "more ticks" 15 !count
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule e ~delay:5 (fun () ->
+         times := Engine.now e :: !times;
+         ignore
+           (Engine.schedule e ~delay:7 (fun () ->
+                times := Engine.now e :: !times))));
+  Engine.run e;
+  Alcotest.(check (list int)) "nested times" [ 5; 12 ] (List.rev !times)
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:10 (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> ignore (Engine.schedule e ~delay:(-1) (fun () -> ())))
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Engine.schedule e ~delay:1 tick)
+  in
+  ignore (Engine.schedule e ~delay:1 tick);
+  Engine.run e ~max_events:25;
+  check_int "bounded" 25 !count
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7L and b = Rng.create ~seed:7L in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" xs ys
+
+let test_rng_bounds () =
+  let g = Rng.create ~seed:1L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int g 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds"
+  done;
+  for _ = 1 to 10_000 do
+    let v = Rng.float g 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "float out of bounds"
+  done
+
+let test_rng_split_independent () =
+  let g = Rng.create ~seed:99L in
+  let c1 = Rng.split g in
+  let c2 = Rng.split g in
+  let xs = List.init 10 (fun _ -> Rng.next64 c1) in
+  let ys = List.init 10 (fun _ -> Rng.next64 c2) in
+  check_bool "children differ" true (xs <> ys)
+
+let test_rng_uniformity () =
+  (* Coarse sanity: bucket counts of 60k draws over 6 buckets stay within
+     5 sigma of the mean. *)
+  let g = Rng.create ~seed:3L in
+  let buckets = Array.make 6 0 in
+  let n = 60_000 in
+  for _ = 1 to n do
+    let b = Rng.int g 6 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  let mean = float_of_int n /. 6.0 in
+  let sigma = sqrt (mean *. (1.0 -. (1.0 /. 6.0))) in
+  Array.iter
+    (fun c ->
+      if abs_float (float_of_int c -. mean) > 5.0 *. sigma then
+        Alcotest.failf "bucket count %d too far from mean %.0f" c mean)
+    buckets
+
+let test_rng_shuffle_permutes () =
+  let g = Rng.create ~seed:5L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+let test_rng_exponential_mean () =
+  let g = Rng.create ~seed:11L in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential g ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if mean < 2.8 || mean > 3.2 then Alcotest.failf "mean %.3f out of range" mean
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_roundtrip () =
+  let t = Trace.create () in
+  Trace.record t ~time:5 ~subject:"a" "hello";
+  Trace.recordf t ~time:9 ~subject:"b" "x=%d" 42;
+  check_int "length" 2 (Trace.length t);
+  match Trace.to_list t with
+  | [ r1; r2 ] ->
+    Alcotest.(check string) "msg1" "hello" r1.Trace.message;
+    Alcotest.(check string) "msg2" "x=42" r2.Trace.message;
+    check_int "time order" 5 r1.Trace.time;
+    check_int "time order" 9 r2.Trace.time
+  | _ -> Alcotest.fail "expected two records"
+
+let test_trace_disabled () =
+  let t = Trace.create ~enabled:false () in
+  Trace.record t ~time:1 ~subject:"a" "dropped";
+  Trace.recordf t ~time:2 ~subject:"a" "also %s" "dropped";
+  check_int "empty" 0 (Trace.length t)
+
+let test_trace_find () =
+  let t = Trace.create () in
+  Trace.record t ~time:1 ~subject:"x" "first";
+  Trace.record t ~time:2 ~subject:"y" "second";
+  (match Trace.find t ~f:(fun r -> r.Trace.subject = "y") with
+  | Some r -> Alcotest.(check string) "found" "second" r.Trace.message
+  | None -> Alcotest.fail "not found");
+  check_bool "missing" true (Trace.find t ~f:(fun _ -> false) = None)
+
+let () =
+  Alcotest.run "sim"
+    [ ( "time",
+        [ Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "pretty printing" `Quick test_time_pp ] );
+      ( "pqueue",
+        [ Alcotest.test_case "ordering" `Quick test_pqueue_order;
+          Alcotest.test_case "tie break" `Quick test_pqueue_tie_break;
+          Alcotest.test_case "stress" `Quick test_pqueue_stress ] );
+      ( "engine",
+        [ Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "negative delay" `Quick test_engine_past_rejected;
+          Alcotest.test_case "max events" `Quick test_engine_max_events ] );
+      ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "exponential" `Quick test_rng_exponential_mean ] );
+      ( "trace",
+        [ Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "disabled" `Quick test_trace_disabled;
+          Alcotest.test_case "find" `Quick test_trace_find ] ) ]

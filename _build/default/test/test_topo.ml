@@ -1,0 +1,189 @@
+(* Tests for topology builders and fault schedules. *)
+
+open Autonet_core
+module B = Autonet_topo.Builders
+module F = Autonet_topo.Faults
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let degree g s = List.length (Graph.neighbors g s)
+
+let test_line () =
+  let t = B.line ~n:4 () in
+  check_int "switches" 4 (Graph.switch_count t.graph);
+  check_int "links" 3 (Graph.link_count t.graph);
+  check_int "end degree" 1 (degree t.graph 0);
+  check_int "middle degree" 2 (degree t.graph 1)
+
+let test_ring () =
+  let t = B.ring ~n:5 () in
+  check_int "links" 5 (Graph.link_count t.graph);
+  List.iter (fun s -> check_int "degree" 2 (degree t.graph s)) (Graph.switches t.graph)
+
+let test_star () =
+  let t = B.star ~leaves:6 () in
+  check_int "switches" 7 (Graph.switch_count t.graph);
+  check_int "hub degree" 6 (degree t.graph 0);
+  for i = 1 to 6 do
+    check_int "leaf degree" 1 (degree t.graph i)
+  done
+
+let test_tree () =
+  let t = B.tree ~arity:2 ~depth:3 () in
+  check_int "switches" 15 (Graph.switch_count t.graph);
+  check_int "links" 14 (Graph.link_count t.graph);
+  check_int "root degree" 2 (degree t.graph 0)
+
+let test_torus () =
+  let t = B.torus ~rows:4 ~cols:4 () in
+  check_int "switches" 16 (Graph.switch_count t.graph);
+  check_int "links" 32 (Graph.link_count t.graph);
+  List.iter (fun s -> check_int "degree 4" 4 (degree t.graph s)) (Graph.switches t.graph)
+
+let test_torus_small_no_parallel () =
+  (* Dimension-2 wrap links would duplicate; the builder must not create
+     parallel links. *)
+  let t = B.torus ~rows:2 ~cols:2 () in
+  check_int "links" 4 (Graph.link_count t.graph);
+  let t = B.torus ~rows:2 ~cols:3 () in
+  (* rows=2: no row wrap; cols=3: wrap present. *)
+  check_int "links 2x3" 9 (Graph.link_count t.graph)
+
+let test_mesh () =
+  let t = B.mesh ~rows:3 ~cols:3 () in
+  check_int "links" 12 (Graph.link_count t.graph);
+  check_int "corner degree" 2 (degree t.graph 0);
+  check_int "center degree" 4 (degree t.graph 4)
+
+let test_random_connected () =
+  let rng = Autonet_sim.Rng.create ~seed:77L in
+  for _ = 1 to 20 do
+    let t = B.random_connected ~rng ~n:12 ~extra_links:6 () in
+    check_int "one component" 1 (List.length (Graph.components t.graph));
+    check_bool "extra links" true (Graph.link_count t.graph >= 11)
+  done
+
+let test_attach_hosts_dual () =
+  let t = B.attach_hosts (B.ring ~n:4 ()) ~per_switch:4 in
+  let hosts = Graph.hosts t.graph in
+  check_int "host ports" 16 (List.length hosts);
+  (* Dual homing: 8 controllers, each with 2 attachments. *)
+  let uids =
+    List.sort_uniq Autonet_net.Uid.compare
+      (List.map (fun (h : Graph.host_attachment) -> h.host_uid) hosts)
+  in
+  check_int "controllers" 8 (List.length uids);
+  List.iter
+    (fun u ->
+      let atts = Graph.host_attachments t.graph u in
+      check_int "attachments" 2 (List.length atts);
+      let sws =
+        List.sort_uniq Int.compare
+          (List.map (fun (h : Graph.host_attachment) -> h.switch) atts)
+      in
+      check_int "different switches" 2 (List.length sws))
+    uids
+
+let test_attach_hosts_single () =
+  let t = B.attach_hosts ~dual_homed:false (B.ring ~n:4 ()) ~per_switch:3 in
+  let hosts = Graph.hosts t.graph in
+  check_int "host ports" 12 (List.length hosts);
+  let uids =
+    List.sort_uniq Autonet_net.Uid.compare
+      (List.map (fun (h : Graph.host_attachment) -> h.host_uid) hosts)
+  in
+  check_int "controllers" 12 (List.length uids)
+
+let test_src_service_lan () =
+  let t = B.src_service_lan () in
+  let g = t.graph in
+  check_int "30 switches" 30 (Graph.switch_count g);
+  check_int "one component" 1 (List.length (Graph.components g));
+  (* Paper: about 120 host ports (8 per switch). *)
+  check_int "host ports" 240 (8 * 30);
+  check_bool "many host ports" true (List.length (Graph.hosts g) >= 200);
+  (* Maximum switch-to-switch distance 6 (paper 6.6.5). *)
+  let tree = Spanning_tree.compute g ~member:0 in
+  let ud = Updown.orient g tree in
+  let routes = Routes.compute g tree ud in
+  let max_plain_dist =
+    (* BFS hop distance, not the up*/down* distance. *)
+    let n = Graph.switch_count g in
+    let maxd = ref 0 in
+    for s = 0 to n - 1 do
+      let dist = Array.make n (-1) in
+      let q = Queue.create () in
+      dist.(s) <- 0;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        List.iter
+          (fun (_, _, peer, _) ->
+            if dist.(peer) < 0 then begin
+              dist.(peer) <- dist.(v) + 1;
+              Queue.add peer q
+            end)
+          (Graph.neighbors g v)
+      done;
+      Array.iter (fun d -> if d > !maxd then maxd := d) dist
+    done;
+    !maxd
+  in
+  check_int "diameter 6" 6 max_plain_dist;
+  (* All pairs reachable under up*/down*. *)
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          check_bool "reachable" true (Routes.distance routes ~src ~dst <> None))
+        (Graph.switches g))
+    (Graph.switches g)
+
+let test_shuffled_uids () =
+  let rng = Autonet_sim.Rng.create ~seed:5L in
+  let f = B.shuffled_uids rng 10 in
+  let uids = List.init 10 (fun i -> Autonet_net.Uid.to_int (f i)) in
+  let sorted = List.sort Int.compare uids in
+  Alcotest.(check (list int)) "permutation"
+    (List.init 10 (fun i -> 0x1000 + i))
+    sorted
+
+let test_faults_flapping () =
+  let s = F.flapping_link ~link:3 ~start:(Autonet_sim.Time.ms 10)
+      ~period:(Autonet_sim.Time.ms 100) ~cycles:3
+  in
+  check_int "events" 6 (List.length s);
+  let sorted = F.sort s in
+  check_bool "sorted" true (sorted = s);
+  match s with
+  | { at; event = F.Link_down 3 } :: { at = at2; event = F.Link_up 3 } :: _ ->
+    check_int "first down" (Autonet_sim.Time.ms 10) at;
+    check_int "first up" (Autonet_sim.Time.ms 60) at2
+  | _ -> Alcotest.fail "unexpected schedule shape"
+
+let test_faults_validation () =
+  Alcotest.check_raises "repair before failure"
+    (Invalid_argument "fail_and_repair: repair before failure") (fun () ->
+      ignore
+        (F.fail_and_repair ~link:0 ~fail_at:(Autonet_sim.Time.ms 5)
+           ~repair_at:(Autonet_sim.Time.ms 5)))
+
+let () =
+  Alcotest.run "topo"
+    [ ( "builders",
+        [ Alcotest.test_case "line" `Quick test_line;
+          Alcotest.test_case "ring" `Quick test_ring;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "tree" `Quick test_tree;
+          Alcotest.test_case "torus" `Quick test_torus;
+          Alcotest.test_case "small torus" `Quick test_torus_small_no_parallel;
+          Alcotest.test_case "mesh" `Quick test_mesh;
+          Alcotest.test_case "random connected" `Quick test_random_connected;
+          Alcotest.test_case "dual-homed hosts" `Quick test_attach_hosts_dual;
+          Alcotest.test_case "single-homed hosts" `Quick test_attach_hosts_single;
+          Alcotest.test_case "SRC service LAN" `Quick test_src_service_lan;
+          Alcotest.test_case "shuffled uids" `Quick test_shuffled_uids ] );
+      ( "faults",
+        [ Alcotest.test_case "flapping" `Quick test_faults_flapping;
+          Alcotest.test_case "validation" `Quick test_faults_validation ] ) ]

@@ -1,0 +1,40 @@
+(* Shared helpers for the test suites. *)
+
+open Autonet_core
+
+type configured = {
+  graph : Graph.t;
+  tree : Spanning_tree.t;
+  updown : Updown.t;
+  routes : Routes.t;
+  assignment : Address_assign.t;
+  specs : Tables.spec list;
+  net : Verify.net;
+}
+
+(* Run the full pure reconfiguration pipeline on a topology, proposing
+   switch number 1 for everyone (the fresh-boot case). *)
+let configure ?mode (t : Autonet_topo.Builders.t) =
+  let g = t.graph in
+  let tree = Spanning_tree.compute g ~member:0 in
+  let updown = Updown.orient g tree in
+  let routes = Routes.compute g tree updown in
+  let proposals = List.map (fun s -> (s, 1)) (Spanning_tree.members tree) in
+  let assignment = Address_assign.make g proposals in
+  let specs = Tables.build_all ?mode g tree updown routes assignment in
+  { graph = g; tree; updown; routes; assignment; specs;
+    net = Verify.make g specs }
+
+let host_endpoints g =
+  List.map
+    (fun (h : Graph.host_attachment) -> (h.switch, h.switch_port))
+    (Graph.hosts g)
+
+(* Random topology generator for property tests: up to [max_n] switches
+   with shuffled UIDs, random extra links, and a couple of hosts. *)
+let random_topology rng ~max_n =
+  let n = 2 + Autonet_sim.Rng.int rng (max_n - 1) in
+  let extra = Autonet_sim.Rng.int rng (1 + (n / 2)) in
+  let uid_of = Autonet_topo.Builders.shuffled_uids rng n in
+  let t = Autonet_topo.Builders.random_connected ~uid_of ~rng ~n ~extra_links:extra () in
+  Autonet_topo.Builders.attach_hosts t ~per_switch:2
