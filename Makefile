@@ -1,0 +1,23 @@
+.PHONY: all test bench bench-smoke bench-json clean
+
+all:
+	dune build @all
+
+test:
+	dune build && dune runtest
+
+# Full experiment harness (slow).
+bench:
+	dune exec bench/main.exe
+
+# Tiny-budget run of the micro benchmark plus a full build: the cheap
+# CI guard that keeps the bench executable compiling and running.
+bench-smoke:
+	dune build @all @bench-smoke
+
+# Regenerate the committed kernel perf trajectory.
+bench-json:
+	dune exec bench/main.exe -- micro --json BENCH_micro.json
+
+clean:
+	dune clean

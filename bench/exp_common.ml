@@ -33,25 +33,34 @@ let host_eps g =
 
 let addr_of c (s, p) = Address_assign.address c.assignment s p
 
+(* Max switch-to-switch hop distance.  One BFS per source, but the
+   distance array and int queue are allocated once and wiped between
+   sources (also used by exp_reconfig's size/diameter table, where the
+   old per-source [Array.make] showed up at 48 switches). *)
 let diameter g =
   let n = Graph.switch_count g in
+  let dist = Array.make (Stdlib.max n 1) (-1) in
+  let queue = Array.make (Stdlib.max n 1) 0 in
   let maxd = ref 0 in
   for s = 0 to n - 1 do
-    let dist = Array.make n (-1) in
-    let q = Queue.create () in
+    Array.fill dist 0 n (-1);
+    let head = ref 0 and tail = ref 0 in
     dist.(s) <- 0;
-    Queue.add s q;
-    while not (Queue.is_empty q) do
-      let v = Queue.pop q in
-      List.iter
-        (fun (_, _, peer, _) ->
+    queue.(0) <- s;
+    tail := 1;
+    while !head < !tail do
+      let v = queue.(!head) in
+      incr head;
+      Graph.iter_neighbors g v (fun _ _ peer _ ->
           if dist.(peer) < 0 then begin
             dist.(peer) <- dist.(v) + 1;
-            Queue.add peer q
+            queue.(!tail) <- peer;
+            incr tail
           end)
-        (Graph.neighbors g v)
     done;
-    Array.iter (fun d -> if d > !maxd then maxd := d) dist
+    for v = 0 to n - 1 do
+      if dist.(v) > !maxd then maxd := dist.(v)
+    done
   done;
   !maxd
 

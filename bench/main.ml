@@ -4,7 +4,14 @@
    Usage:
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- e1 e6   # selected experiments
-     dune exec bench/main.exe -- list    # what is available *)
+     dune exec bench/main.exe -- list    # what is available
+
+   Micro-benchmark options:
+     dune exec bench/main.exe -- micro --json BENCH_micro.json
+         also write ns/op per kernel (fast path vs reference) as JSON
+     dune exec bench/main.exe -- micro --smoke
+         tiny iteration budget; used by the bench-smoke alias to keep
+         the harness from bit-rotting without burning CI time *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [ ("e1", "reconfiguration time, SRC LAN, three regimes", Exp_reconfig.e1);
@@ -38,6 +45,21 @@ let () =
   let args =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
+  (* Peel off micro-benchmark options before dispatching experiment ids. *)
+  let rec parse_opts = function
+    | "--json" :: path :: rest ->
+      Micro.json_path := Some path;
+      parse_opts rest
+    | [ "--json" ] ->
+      prerr_endline "--json requires a file argument";
+      exit 2
+    | "--smoke" :: rest ->
+      Micro.smoke := true;
+      parse_opts rest
+    | arg :: rest -> arg :: parse_opts rest
+    | [] -> []
+  in
+  let args = parse_opts args in
   match args with
   | [ "list" ] -> list ()
   | [] ->

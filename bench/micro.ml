@@ -2,81 +2,121 @@
    reconfiguration's software-time regime is made of: spanning-tree
    computation, up*/down* orientation, route BFS, forwarding-table
    synthesis, channel-dependency analysis and topology-report codec.
-   These are the costs the paper's 68000 paid in its table_load_time. *)
+   These are the costs the paper's 68000 paid in its table_load_time.
+
+   Each kernel is measured twice — the flat-array fast path that the
+   pipeline now runs, and the retained list-based [Reference]
+   implementation — on the 30-switch SRC service LAN and on a 64-switch
+   torus (diameter 8, the paper's "function of the maximum
+   switch-to-switch distance" regime).  With [--json FILE] the ns/op and
+   fast-vs-reference speedups are also written as JSON, the perf
+   trajectory future changes regress against. *)
 
 open Bechamel
 open Toolkit
 open Autonet_core
 module B = Autonet_topo.Builders
 
-let src = B.src_service_lan ()
-let g = src.B.graph
-let tree = Spanning_tree.compute g ~member:0
-let updown = Updown.orient g tree
-let routes = Routes.compute g tree updown
+(* Options, set by [main.ml] before dispatch. *)
+let json_path : string option ref = ref None
+let smoke = ref false
 
-let assignment =
-  Address_assign.make g
-    (List.map (fun s -> (s, 1)) (Spanning_tree.members tree))
+type ctx = {
+  topo_name : string;
+  g : Graph.t;
+  tree : Spanning_tree.t;
+  updown : Updown.t;
+  routes : Routes.t;
+  routes_ref : Routes.Reference.r;
+  assignment : Address_assign.t;
+}
 
-let report =
-  (* The full topology report the root would accumulate. *)
-  List.fold_left
-    (fun acc s ->
-      let used =
-        List.filter_map
-          (fun p ->
-            match Graph.host_at g (s, p) with
-            | Some _ -> Some (p, Topology_report.Host_port)
-            | None -> (
-              match Graph.link_at g (s, p) with
-              | Some l_id -> (
-                match Graph.link g l_id with
-                | Some l ->
-                  let peer, peer_port = Graph.other_end l s in
-                  Some
-                    ( p,
-                      Topology_report.Switch_link
-                        { peer = Graph.uid g peer; peer_port } )
-                | None -> None)
-              | None -> None))
-          (Graph.used_ports g s)
-      in
-      let d =
-        Topology_report.switch_desc ~uid:(Graph.uid g s) ~proposed_number:1
-          ~max_ports:(Graph.max_ports g) used
-      in
-      match acc with
-      | None -> Some (Topology_report.singleton ~max_ports:(Graph.max_ports g) d)
-      | Some r ->
-        Some
-          (Topology_report.merge r
-             (Topology_report.singleton ~max_ports:(Graph.max_ports g) d)))
-    None (Graph.switches g)
-  |> Option.get
+let make_ctx (t : B.t) =
+  let g = t.B.graph in
+  let tree = Spanning_tree.compute g ~member:0 in
+  let updown = Updown.orient g tree in
+  let routes = Routes.compute g tree updown in
+  let routes_ref = Routes.Reference.compute g tree updown in
+  let assignment =
+    Address_assign.make g
+      (List.map (fun s -> (s, 1)) (Spanning_tree.members tree))
+  in
+  { topo_name = t.B.name; g; tree; updown; routes; routes_ref; assignment }
 
-let encoded_report =
-  let w = Autonet_net.Wire.Writer.create () in
-  Topology_report.encode w report;
-  Autonet_net.Wire.Writer.contents w
-
-let tests =
+(* The paired kernels: [name] runs the fast path, [name ^ "_ref"] the
+   retained reference implementation of the same computation. *)
+let paired_tests c =
   [ Test.make ~name:"spanning_tree"
-      (Staged.stage (fun () -> Spanning_tree.compute g ~member:0));
+      (Staged.stage (fun () -> Spanning_tree.compute c.g ~member:0));
+    Test.make ~name:"spanning_tree_ref"
+      (Staged.stage (fun () -> Spanning_tree.Reference.compute c.g ~member:0));
     Test.make ~name:"updown_orient"
-      (Staged.stage (fun () -> Updown.orient g tree));
+      (Staged.stage (fun () -> Updown.orient c.g c.tree));
+    Test.make ~name:"updown_orient_ref"
+      (Staged.stage (fun () -> Updown.Reference.orient c.g c.tree));
     Test.make ~name:"routes_bfs"
-      (Staged.stage (fun () -> Routes.compute g tree updown));
-    Test.make ~name:"tables_one_switch"
-      (Staged.stage (fun () ->
-           Tables.build g tree updown routes assignment 0));
+      (Staged.stage (fun () -> Routes.compute c.g c.tree c.updown));
+    Test.make ~name:"routes_bfs_ref"
+      (Staged.stage (fun () -> Routes.Reference.compute c.g c.tree c.updown));
     Test.make ~name:"tables_all_switches"
       (Staged.stage (fun () ->
-           Tables.build_all g tree updown routes assignment));
+           Tables.build_all c.g c.tree c.updown c.routes c.assignment));
+    Test.make ~name:"tables_all_switches_ref"
+      (Staged.stage (fun () ->
+           Tables.Reference.build_all c.g c.tree c.updown c.routes_ref
+             c.assignment)) ]
+
+(* Unpaired kernels measured on the SRC topology only, to keep the
+   historical table. *)
+let src_extra_tests c =
+  let report =
+    (* The full topology report the root would accumulate. *)
+    List.fold_left
+      (fun acc s ->
+        let used =
+          List.filter_map
+            (fun p ->
+              match Graph.host_at c.g (s, p) with
+              | Some _ -> Some (p, Topology_report.Host_port)
+              | None -> (
+                match Graph.link_at c.g (s, p) with
+                | Some l_id -> (
+                  match Graph.link c.g l_id with
+                  | Some l ->
+                    let peer, peer_port = Graph.other_end l s in
+                    Some
+                      ( p,
+                        Topology_report.Switch_link
+                          { peer = Graph.uid c.g peer; peer_port } )
+                  | None -> None)
+                | None -> None))
+            (Graph.used_ports c.g s)
+        in
+        let d =
+          Topology_report.switch_desc ~uid:(Graph.uid c.g s) ~proposed_number:1
+            ~max_ports:(Graph.max_ports c.g) used
+        in
+        match acc with
+        | None ->
+          Some (Topology_report.singleton ~max_ports:(Graph.max_ports c.g) d)
+        | Some r ->
+          Some
+            (Topology_report.merge r
+               (Topology_report.singleton ~max_ports:(Graph.max_ports c.g) d)))
+      None (Graph.switches c.g)
+    |> Option.get
+  in
+  let encoded_report =
+    let w = Autonet_net.Wire.Writer.create () in
+    Topology_report.encode w report;
+    Autonet_net.Wire.Writer.contents w
+  in
+  let specs = Tables.build_all c.g c.tree c.updown c.routes c.assignment in
+  [ Test.make ~name:"tables_one_switch"
+      (Staged.stage (fun () ->
+           Tables.build c.g c.tree c.updown c.routes c.assignment 0));
     Test.make ~name:"deadlock_check"
-      (Staged.stage
-         (let specs = Tables.build_all g tree updown routes assignment in
-          fun () -> Deadlock.check_tables g specs));
+      (Staged.stage (fun () -> Deadlock.check_tables c.g specs));
     Test.make ~name:"report_encode"
       (Staged.stage (fun () ->
            let w = Autonet_net.Wire.Writer.create () in
@@ -88,23 +128,23 @@ let tests =
     Test.make ~name:"report_to_graph"
       (Staged.stage (fun () -> Topology_report.to_graph report)) ]
 
-let run () =
-  Exp_common.section "Micro-benchmarks: reconfiguration kernels (bechamel)";
+let quota_s () = if !smoke then 0.01 else 0.25
+
+(* Run one topology's tests and return (kernel name, ns/op), kernel
+   names stripped of the bechamel group prefix. *)
+let measure tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None ()
+    Benchmark.cfg
+      ~limit:(if !smoke then 50 else 300)
+      ~quota:(Time.second (quota_s ())) ~kde:None ()
   in
   let grouped = Test.make_grouped ~name:"kernels" tests in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let r =
-    Autonet_analysis.Report.create
-      ~title:"per-call cost on the 30-switch SRC topology"
-      ~columns:[ "kernel"; "time per call" ]
-  in
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
@@ -113,19 +153,94 @@ let run () =
         | Some (v :: _) -> v
         | _ -> nan
       in
-      rows := (name, est) :: !rows)
+      let short =
+        match String.index_opt name '/' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
+      rows := (short, est) :: !rows)
     results;
+  List.sort compare !rows
+
+let pp_ns ns =
+  if Float.is_nan ns then "-"
+  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let print_table title rows =
+  let r =
+    Autonet_analysis.Report.create ~title
+      ~columns:[ "kernel"; "fast path"; "reference"; "speedup" ]
+  in
   List.iter
     (fun (name, ns) ->
-      let cell =
-        if Float.is_nan ns then "-"
-        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-        else Printf.sprintf "%.0f ns" ns
-      in
-      Autonet_analysis.Report.add_row r [ name; cell ])
-    (List.sort compare !rows);
-  Autonet_analysis.Report.print r;
+      if not (Filename.check_suffix name "_ref") then begin
+        let ref_ns = List.assoc_opt (name ^ "_ref") rows in
+        let ref_cell = match ref_ns with Some v -> pp_ns v | None -> "-" in
+        let speedup =
+          match ref_ns with
+          | Some v when (not (Float.is_nan v)) && not (Float.is_nan ns) ->
+            Printf.sprintf "%.1fx" (v /. ns)
+          | _ -> "-"
+        in
+        Autonet_analysis.Report.add_row r [ name; pp_ns ns; ref_cell; speedup ]
+      end)
+    rows;
+  Autonet_analysis.Report.print r
+
+let json_of_topology buf (name, g, dia, rows) =
+  let kernel_json (kname, ns) =
+    if Filename.check_suffix kname "_ref" then None
+    else begin
+      let b = Buffer.create 128 in
+      Printf.bprintf b "      { \"name\": %S, \"ns_per_op\": %.1f" kname ns;
+      (match List.assoc_opt (kname ^ "_ref") rows with
+      | Some ref_ns ->
+        Printf.bprintf b ", \"reference_ns_per_op\": %.1f, \"speedup\": %.2f"
+          ref_ns (ref_ns /. ns)
+      | None -> ());
+      Buffer.add_string b " }";
+      Some (Buffer.contents b)
+    end
+  in
+  Printf.bprintf buf
+    "    { \"name\": %S,\n      \"switches\": %d, \"links\": %d, \"diameter\": %d,\n      \"kernels\": [\n%s\n    ] }"
+    name (Graph.switch_count g) (Graph.link_count g) dia
+    (String.concat ",\n" (List.filter_map kernel_json rows))
+
+let write_json path topologies =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\n  \"schema\": \"autonet-bench-micro\",\n  \"version\": 1,\n  \"quota_s\": %.3f,\n  \"smoke\": %b,\n  \"topologies\": [\n"
+    (quota_s ()) !smoke;
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      json_of_topology buf t)
+    topologies;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let run () =
+  Exp_common.section "Micro-benchmarks: reconfiguration kernels (bechamel)";
+  let src = make_ctx (B.src_service_lan ()) in
+  let big = make_ctx (B.attach_hosts (B.torus ~rows:8 ~cols:8 ()) ~per_switch:2) in
+  let src_rows = measure (paired_tests src @ src_extra_tests src) in
+  print_table
+    "per-call cost on the 30-switch SRC topology (fast path vs retained reference)"
+    src_rows;
+  let big_rows = measure (paired_tests big) in
+  print_table "per-call cost on the 64-switch torus (diameter 8)" big_rows;
   Printf.printf
     "(these are the software costs behind table_load_time: the paper's 68000\n\
-    \ paid them at roughly 100x a modern core's prices)\n\n"
+    \ paid them at roughly 100x a modern core's prices)\n\n";
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    write_json path
+      [ (src.topo_name, src.g, Exp_common.diameter src.g, src_rows);
+        (big.topo_name, big.g, Exp_common.diameter big.g, big_rows) ]

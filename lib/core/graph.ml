@@ -21,6 +21,19 @@ type switch_record = {
   ports : occupant array; (* index 0 unused: control processor *)
 }
 
+(* Packed adjacency snapshot: for switch [s], entries
+   [off.(s) .. off.(s+1) - 1] of the four parallel arrays hold the
+   same (port, link, peer, peer_port) tuples [neighbors] returns, in
+   the same ascending-port order, but without any per-query allocation.
+   Rebuilt lazily after any topology mutation. *)
+type csr = {
+  off : int array; (* length n_switches + 1 *)
+  nb_port : int array;
+  nb_link : int array;
+  nb_peer : int array;
+  nb_peer_port : int array;
+}
+
 type t = {
   max_ports : int;
   mutable switch_records : switch_record array;
@@ -28,6 +41,7 @@ type t = {
   mutable links_by_id : link option array;
   mutable n_links : int; (* total ever allocated, including removed *)
   mutable by_uid : switch Uid.Map.t;
+  mutable adjacency : csr option; (* invalidated on mutation *)
 }
 
 let create ?(max_ports = 12) () =
@@ -38,7 +52,8 @@ let create ?(max_ports = 12) () =
     n_switches = 0;
     links_by_id = [||];
     n_links = 0;
-    by_uid = Uid.Map.empty }
+    by_uid = Uid.Map.empty;
+    adjacency = None }
 
 let max_ports t = t.max_ports
 
@@ -68,6 +83,7 @@ let add_switch t ~uid =
     { sw_uid = uid; ports = Array.make (t.max_ports + 1) Free };
   t.n_switches <- t.n_switches + 1;
   t.by_uid <- Uid.Map.add uid s t.by_uid;
+  t.adjacency <- None;
   s
 
 let switch_count t = t.n_switches
@@ -110,6 +126,7 @@ let connect t ep_a ep_b =
   let sa, pa = ep_a and sb, pb = ep_b in
   t.switch_records.(sa).ports.(pa) <- To_link id;
   t.switch_records.(sb).ports.(pb) <- To_link id;
+  t.adjacency <- None;
   id
 
 let attach_host t ~host_uid ~host_port ep =
@@ -125,7 +142,8 @@ let disconnect t id =
   | Some { a = sa, pa; b = sb, pb; _ } ->
     t.links_by_id.(id) <- None;
     t.switch_records.(sa).ports.(pa) <- Free;
-    t.switch_records.(sb).ports.(pb) <- Free
+    t.switch_records.(sb).ports.(pb) <- Free;
+    t.adjacency <- None
 
 let link t id =
   if id < 0 || id >= t.n_links then None else t.links_by_id.(id)
@@ -197,6 +215,79 @@ let neighbors t s =
   done;
   !acc
 
+let build_adjacency t =
+  let n = t.n_switches in
+  let off = Array.make (n + 1) 0 in
+  for s = 0 to n - 1 do
+    let deg = ref 0 in
+    let ports = t.switch_records.(s).ports in
+    for p = 1 to t.max_ports do
+      match ports.(p) with
+      | To_link id -> begin
+        match t.links_by_id.(id) with
+        | Some l when not (is_loop l) -> incr deg
+        | Some _ | None -> ()
+      end
+      | Free | To_host _ -> ()
+    done;
+    off.(s + 1) <- !deg
+  done;
+  for s = 1 to n do
+    off.(s) <- off.(s) + off.(s - 1)
+  done;
+  let total = off.(n) in
+  let nb_port = Array.make total 0
+  and nb_link = Array.make total 0
+  and nb_peer = Array.make total 0
+  and nb_peer_port = Array.make total 0 in
+  for s = 0 to n - 1 do
+    let i = ref off.(s) in
+    let ports = t.switch_records.(s).ports in
+    for p = 1 to t.max_ports do
+      match ports.(p) with
+      | To_link id -> begin
+        match t.links_by_id.(id) with
+        | Some l when not (is_loop l) ->
+          let peer, peer_port = other_end l s in
+          nb_port.(!i) <- p;
+          nb_link.(!i) <- id;
+          nb_peer.(!i) <- peer;
+          nb_peer_port.(!i) <- peer_port;
+          incr i
+        | Some _ | None -> ()
+      end
+      | Free | To_host _ -> ()
+    done
+  done;
+  { off; nb_port; nb_link; nb_peer; nb_peer_port }
+
+let adjacency t =
+  match t.adjacency with
+  | Some c -> c
+  | None ->
+    let c = build_adjacency t in
+    t.adjacency <- Some c;
+    c
+
+let iter_neighbors t s f =
+  check_switch t s;
+  let c = adjacency t in
+  for i = c.off.(s) to c.off.(s + 1) - 1 do
+    f c.nb_port.(i) c.nb_link.(i) c.nb_peer.(i) c.nb_peer_port.(i)
+  done
+
+let degree t s =
+  check_switch t s;
+  let c = adjacency t in
+  c.off.(s + 1) - c.off.(s)
+
+let max_link_id t = t.n_links - 1
+
+let iter_links t f =
+  for id = 0 to t.n_links - 1 do
+    match t.links_by_id.(id) with None -> () | Some l -> f l
+  done
+
 let port_of_link t s id =
   check_switch t s;
   match t.links_by_id.(id) with
@@ -241,13 +332,11 @@ let components t =
       while not (Queue.is_empty queue) do
         let v = Queue.pop queue in
         comp := v :: !comp;
-        List.iter
-          (fun (_, _, peer, _) ->
+        iter_neighbors t v (fun _ _ peer _ ->
             if not seen.(peer) then begin
               seen.(peer) <- true;
               Queue.add peer queue
             end)
-          (neighbors t v)
       done;
       comps := List.sort Int.compare !comp :: !comps
     end

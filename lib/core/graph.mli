@@ -88,6 +88,27 @@ val neighbors : t -> switch -> (port * link_id * switch * port) list
 (** [(my_port, link, peer switch, peer port)] for each live non-loop link
     on the switch, in increasing port order. *)
 
+val iter_neighbors : t -> switch -> (port -> link_id -> switch -> port -> unit) -> unit
+(** [iter_neighbors t s f] calls [f my_port link peer peer_port] for each
+    live non-loop link on [s], in increasing port order — the same
+    sequence as {!neighbors} but served from a packed adjacency cache
+    with no per-query allocation.  The cache is built on first use and
+    invalidated by any topology mutation, so mutating the graph from
+    inside [f] is not allowed. *)
+
+val degree : t -> switch -> int
+(** Number of live non-loop links on the switch (length of
+    {!neighbors}). *)
+
+val max_link_id : t -> int
+(** Largest link id ever allocated, or [-1] when no link was ever
+    created.  Removed ids below it answer [None]/[-1] everywhere; use
+    this to size per-link arrays without walking {!links}. *)
+
+val iter_links : t -> (link -> unit) -> unit
+(** Iterate the live switch-to-switch links in id order without building
+    the {!links} list. *)
+
 val port_of_link : t -> switch -> link_id -> port
 (** The local port a link occupies on the given switch.  For a loop link
     the lower-numbered port is returned.  Raises [Not_found] when the link

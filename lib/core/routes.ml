@@ -6,91 +6,144 @@ let pp_phase ppf = function
   | Up -> Format.pp_print_string ppf "up"
   | Down -> Format.pp_print_string ppf "down"
 
+(* A state encodes (switch, phase) as [2*switch + (0|1)]. *)
+let state s = function Up -> 2 * s | Down -> (2 * s) + 1
+
 type t = {
   graph : Graph.t;
   updown : Updown.t;
   n : int;
-  (* dist.(d).(state) = minimal legal hops from state to switch d, or -1.
-     A state encodes (switch, phase) as [2*switch + (0|1)]. *)
+  (* Legal forward moves in CSR form: for state [st], entries
+     [move_off.(st) .. move_off.(st+1) - 1] of the three parallel arrays
+     give the destination state, the out-port and the link of each legal
+     move, in ascending out-port order. *)
+  move_off : int array;
+  move_state : int array;
+  move_port : int array;
+  move_link : int array;
+  (* dist.(d).(state) = minimal legal hops from state to switch d, or -1. *)
   dist : int array array;
 }
 
-let state s = function Up -> 2 * s | Down -> (2 * s) + 1
-
-(* Legal forward moves out of (s, ph): (next switch, next phase, port, link). *)
-let moves g updown s ph =
-  List.filter_map
-    (fun (p, l_id, peer, _peer_port) ->
-      match Graph.link g l_id with
-      | None -> None
-      | Some l ->
-        if not (Updown.usable updown l_id) then None
-        else
-          let up_move = Updown.goes_up updown l ~from:s in
-          begin
-            match (ph, up_move) with
-            | Up, true -> Some (peer, Up, p, l_id)
-            | Up, false -> Some (peer, Down, p, l_id)
-            | Down, false -> Some (peer, Down, p, l_id)
-            | Down, true -> None
-          end)
-    (Graph.neighbors g s)
+(* Build the legal-move CSR straight from the graph's packed adjacency:
+   from (s, Up) every usable link is a move (staying Up when it goes up),
+   from (s, Down) only the links whose far end is the down end. *)
+let build_moves g updown n =
+  let nstates = 2 * n in
+  let move_off = Array.make (nstates + 1) 0 in
+  for s = 0 to n - 1 do
+    let up_moves = ref 0 and down_moves = ref 0 in
+    Graph.iter_neighbors g s (fun _ l peer _ ->
+        let up = Updown.up_end_i updown l in
+        if up >= 0 then begin
+          incr up_moves;
+          if up <> peer then incr down_moves
+        end);
+    move_off.((2 * s) + 1) <- !up_moves;
+    move_off.((2 * s) + 2) <- !down_moves
+  done;
+  for st = 1 to nstates do
+    move_off.(st) <- move_off.(st) + move_off.(st - 1)
+  done;
+  let total = move_off.(nstates) in
+  let move_state = Array.make total 0
+  and move_port = Array.make total 0
+  and move_link = Array.make total 0 in
+  let cursor = Array.make nstates 0 in
+  Array.blit move_off 0 cursor 0 nstates;
+  for s = 0 to n - 1 do
+    Graph.iter_neighbors g s (fun p l peer _ ->
+        let up = Updown.up_end_i updown l in
+        if up >= 0 then begin
+          let dest = if up = peer then 2 * peer else (2 * peer) + 1 in
+          let i = cursor.(2 * s) in
+          move_state.(i) <- dest;
+          move_port.(i) <- p;
+          move_link.(i) <- l;
+          cursor.(2 * s) <- i + 1;
+          if up <> peer then begin
+            let j = cursor.((2 * s) + 1) in
+            move_state.(j) <- dest;
+            move_port.(j) <- p;
+            move_link.(j) <- l;
+            cursor.((2 * s) + 1) <- j + 1
+          end
+        end)
+  done;
+  (move_off, move_state, move_port, move_link)
 
 let compute g tree updown =
   let n = Graph.switch_count g in
-  (* Predecessor lists, built once: pred.(state) = states one legal move
-     before it. *)
-  let pred = Array.make (2 * n) [] in
-  List.iter
-    (fun s ->
-      List.iter
-        (fun ph ->
-          List.iter
-            (fun (peer, ph', _p, _l) ->
-              pred.(state peer ph') <- state s ph :: pred.(state peer ph'))
-            (moves g updown s ph))
-        [ Up; Down ])
-    (Graph.switches g);
+  let nstates = 2 * n in
+  let move_off, move_state, move_port, move_link = build_moves g updown n in
+  (* Transpose the move CSR into a predecessor CSR for the backward BFS:
+     pred.(st') lists the states one legal move before st'. *)
+  let pred_off = Array.make (nstates + 1) 0 in
+  let total = move_off.(nstates) in
+  for i = 0 to total - 1 do
+    pred_off.(move_state.(i) + 1) <- pred_off.(move_state.(i) + 1) + 1
+  done;
+  for st = 1 to nstates do
+    pred_off.(st) <- pred_off.(st) + pred_off.(st - 1)
+  done;
+  let pred = Array.make total 0 in
+  let cursor = Array.make nstates 0 in
+  Array.blit pred_off 0 cursor 0 nstates;
+  for st = 0 to nstates - 1 do
+    for i = move_off.(st) to move_off.(st + 1) - 1 do
+      let dest = move_state.(i) in
+      pred.(cursor.(dest)) <- st;
+      cursor.(dest) <- cursor.(dest) + 1
+    done
+  done;
+  (* One backward BFS per member destination, sharing one int queue. *)
   let dist = Array.make n [||] in
-  List.iter
-    (fun d ->
-      if Spanning_tree.mem tree d then begin
-        let dd = Array.make (2 * n) (-1) in
-        let queue = Queue.create () in
-        dd.(state d Up) <- 0;
-        dd.(state d Down) <- 0;
-        Queue.add (state d Up) queue;
-        Queue.add (state d Down) queue;
-        while not (Queue.is_empty queue) do
-          let st = Queue.pop queue in
-          List.iter
-            (fun st' ->
-              if dd.(st') < 0 then begin
-                dd.(st') <- dd.(st) + 1;
-                Queue.add st' queue
-              end)
-            pred.(st)
-        done;
-        dist.(d) <- dd
-      end)
-    (Graph.switches g);
-  { graph = g; updown; n; dist }
+  let queue = Array.make (Stdlib.max nstates 1) 0 in
+  for d = 0 to n - 1 do
+    if Spanning_tree.mem tree d then begin
+      let dd = Array.make nstates (-1) in
+      let head = ref 0 and tail = ref 0 in
+      dd.(2 * d) <- 0;
+      dd.((2 * d) + 1) <- 0;
+      queue.(0) <- 2 * d;
+      queue.(1) <- (2 * d) + 1;
+      tail := 2;
+      while !head < !tail do
+        let st = queue.(!head) in
+        incr head;
+        let nd = dd.(st) + 1 in
+        for i = pred_off.(st) to pred_off.(st + 1) - 1 do
+          let st' = pred.(i) in
+          if dd.(st') < 0 then begin
+            dd.(st') <- nd;
+            queue.(!tail) <- st';
+            incr tail
+          end
+        done
+      done;
+      dist.(d) <- dd
+    end
+  done;
+  { graph = g; updown; n; move_off; move_state; move_port; move_link; dist }
 
-let phase_of_arrival t ~at ~in_port =
+let phase_of_arrival_at graph updown ~at ~in_port =
   if in_port = 0 then Up
   else
-    match Graph.host_at t.graph (at, in_port) with
+    match Graph.host_at graph (at, in_port) with
     | Some _ -> Up
     | None -> begin
-      match Graph.link_at t.graph (at, in_port) with
+      match Graph.link_at graph (at, in_port) with
       | None -> Up (* unconnected port: treat as an entry point *)
       | Some l_id -> begin
-        match Updown.up_end t.updown l_id with
+        match Updown.up_end updown l_id with
         | None ->
           invalid_arg "Routes.phase_of_arrival: port on an excluded link"
         | Some up -> if up = at then Up else Down
       end
     end
+
+let phase_of_arrival t ~at ~in_port =
+  phase_of_arrival_at t.graph t.updown ~at ~in_port
 
 let distance_from t ~src ~phase ~dst =
   if Array.length t.dist.(dst) = 0 then None
@@ -105,23 +158,30 @@ let next_hops t ~at ~phase ~dst =
   else if Array.length t.dist.(dst) = 0 then []
   else
     let dd = t.dist.(dst) in
-    let here = dd.(state at phase) in
+    let st = state at phase in
+    let here = dd.(st) in
     if here < 0 then []
-    else
-      List.filter_map
-        (fun (peer, ph', p, l_id) ->
-          if dd.(state peer ph') = here - 1 then Some (p, l_id) else None)
-        (moves t.graph t.updown at phase)
+    else begin
+      let acc = ref [] in
+      for i = t.move_off.(st + 1) - 1 downto t.move_off.(st) do
+        if dd.(t.move_state.(i)) = here - 1 then
+          acc := (t.move_port.(i), t.move_link.(i)) :: !acc
+      done;
+      !acc
+    end
 
 let all_next_hops t ~at ~phase ~dst =
   if at = dst then []
   else if Array.length t.dist.(dst) = 0 then []
   else
     let dd = t.dist.(dst) in
-    List.filter_map
-      (fun (peer, ph', p, l_id) ->
-        if dd.(state peer ph') >= 0 then Some (p, l_id) else None)
-      (moves t.graph t.updown at phase)
+    let st = state at phase in
+    let acc = ref [] in
+    for i = t.move_off.(st + 1) - 1 downto t.move_off.(st) do
+      if dd.(t.move_state.(i)) >= 0 then
+        acc := (t.move_port.(i), t.move_link.(i)) :: !acc
+    done;
+    !acc
 
 let legal_route _t g updown path =
   let rec step phase = function
@@ -152,3 +212,109 @@ let legal_route _t g updown path =
         candidates
   in
   step Up path
+
+module Reference = struct
+  (* The original implementation: legal moves recomputed as lists from
+     [Graph.neighbors] on every query, predecessor lists of boxed ints,
+     [Queue.t]-based BFS.  Kept as the correctness oracle for the CSR
+     fast path above and as the micro-benchmark baseline. *)
+
+  type r = {
+    graph : Graph.t;
+    updown : Updown.t;
+    n : int;
+    dist : int array array;
+  }
+
+  (* Legal forward moves out of (s, ph): (next switch, next phase, port,
+     link). *)
+  let moves g updown s ph =
+    List.filter_map
+      (fun (p, l_id, peer, _peer_port) ->
+        match Graph.link g l_id with
+        | None -> None
+        | Some l ->
+          if not (Updown.usable updown l_id) then None
+          else
+            let up_move = Updown.goes_up updown l ~from:s in
+            begin
+              match (ph, up_move) with
+              | Up, true -> Some (peer, Up, p, l_id)
+              | Up, false -> Some (peer, Down, p, l_id)
+              | Down, false -> Some (peer, Down, p, l_id)
+              | Down, true -> None
+            end)
+      (Graph.neighbors g s)
+
+  let compute g tree updown =
+    let n = Graph.switch_count g in
+    let pred = Array.make (2 * n) [] in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun ph ->
+            List.iter
+              (fun (peer, ph', _p, _l) ->
+                pred.(state peer ph') <- state s ph :: pred.(state peer ph'))
+              (moves g updown s ph))
+          [ Up; Down ])
+      (Graph.switches g);
+    let dist = Array.make n [||] in
+    List.iter
+      (fun d ->
+        if Spanning_tree.mem tree d then begin
+          let dd = Array.make (2 * n) (-1) in
+          let queue = Queue.create () in
+          dd.(state d Up) <- 0;
+          dd.(state d Down) <- 0;
+          Queue.add (state d Up) queue;
+          Queue.add (state d Down) queue;
+          while not (Queue.is_empty queue) do
+            let st = Queue.pop queue in
+            List.iter
+              (fun st' ->
+                if dd.(st') < 0 then begin
+                  dd.(st') <- dd.(st) + 1;
+                  Queue.add st' queue
+                end)
+              pred.(st)
+          done;
+          dist.(d) <- dd
+        end)
+      (Graph.switches g);
+    { graph = g; updown; n; dist }
+
+  let phase_of_arrival t ~at ~in_port =
+    phase_of_arrival_at t.graph t.updown ~at ~in_port
+
+  let distance_from t ~src ~phase ~dst =
+    if Array.length t.dist.(dst) = 0 then None
+    else
+      let d = t.dist.(dst).(state src phase) in
+      if d < 0 then None else Some d
+
+  let distance t ~src ~dst = distance_from t ~src ~phase:Up ~dst
+
+  let next_hops t ~at ~phase ~dst =
+    if at = dst then []
+    else if Array.length t.dist.(dst) = 0 then []
+    else
+      let dd = t.dist.(dst) in
+      let here = dd.(state at phase) in
+      if here < 0 then []
+      else
+        List.filter_map
+          (fun (peer, ph', p, l_id) ->
+            if dd.(state peer ph') = here - 1 then Some (p, l_id) else None)
+          (moves t.graph t.updown at phase)
+
+  let all_next_hops t ~at ~phase ~dst =
+    if at = dst then []
+    else if Array.length t.dist.(dst) = 0 then []
+    else
+      let dd = t.dist.(dst) in
+      List.filter_map
+        (fun (peer, ph', p, l_id) ->
+          if dd.(state peer ph') >= 0 then Some (p, l_id) else None)
+        (moves t.graph t.updown at phase)
+end

@@ -37,64 +37,134 @@ type t = {
   parents : parent option array;
 }
 
-let in_component g member =
-  List.find (fun comp -> List.mem member comp) (Graph.components g)
-
 let compute g ~member =
-  let comp = in_component g member in
-  let root =
-    List.fold_left
-      (fun best s ->
-        if Uid.compare (Graph.uid g s) (Graph.uid g best) < 0 then s else best)
-      (List.hd comp) comp
-  in
   let n = Graph.switch_count g in
   let levels = Array.make n (-1) in
   let parents = Array.make n None in
-  (* Breadth-first levels from the root. *)
-  let queue = Queue.create () in
-  levels.(root) <- 0;
-  Queue.add root queue;
-  while not (Queue.is_empty queue) do
-    let v = Queue.pop queue in
-    List.iter
-      (fun (_, _, peer, _) ->
-        if levels.(peer) < 0 then begin
-          levels.(peer) <- levels.(v) + 1;
-          Queue.add peer queue
+  (* Scratch: an int ring-free BFS queue and a seen bitmap; the queue also
+     ends up holding the component members (in BFS order). *)
+  let queue = Array.make (Stdlib.max n 1) 0 in
+  let head = ref 0 and tail = ref 0 in
+  let push v =
+    queue.(!tail) <- v;
+    incr tail
+  in
+  (* Pass 1: walk the component from [member] to find the root (smallest
+     UID). *)
+  let seen = Bytes.make n '\000' in
+  Bytes.set seen member '\001';
+  push member;
+  let root = ref member in
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
+    if Uid.compare (Graph.uid g v) (Graph.uid g !root) < 0 then root := v;
+    Graph.iter_neighbors g v (fun _ _ peer _ ->
+        if Bytes.get seen peer = '\000' then begin
+          Bytes.set seen peer '\001';
+          push peer
         end)
-      (Graph.neighbors g v)
+  done;
+  let root = !root in
+  (* Pass 2: breadth-first levels from the root. *)
+  head := 0;
+  tail := 0;
+  levels.(root) <- 0;
+  push root;
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
+    let lv = levels.(v) + 1 in
+    Graph.iter_neighbors g v (fun _ _ peer _ ->
+        if levels.(peer) < 0 then begin
+          levels.(peer) <- lv;
+          push peer
+        end)
   done;
   (* Parent selection: among neighbors one level up, smallest parent UID,
-     then smallest child-side port. [Graph.neighbors] ascends by local
-     port, so the first qualifying candidate wins the port tie. *)
-  List.iter
-    (fun s ->
-      if s <> root then begin
-        let best = ref None in
-        List.iter
-          (fun (my_port, link, peer, parent_port) ->
-            if levels.(peer) = levels.(s) - 1 then
-              let candidate = { link; my_port; parent_switch = peer; parent_port } in
-              match !best with
-              | None -> best := Some candidate
-              | Some cur ->
-                let c =
-                  Uid.compare (Graph.uid g peer) (Graph.uid g cur.parent_switch)
-                in
-                if c < 0 then best := Some candidate
-          )
-          (Graph.neighbors g s);
-        match !best with
-        | Some _ as p -> parents.(s) <- p
-        | None -> assert false (* levels form a BFS tree: a parent exists *)
-      end)
-    comp;
-  { tree_root = root; tree_members = comp; levels; parents }
+     then smallest child-side port. [Graph.iter_neighbors] ascends by
+     local port, so the first qualifying candidate wins the port tie. *)
+  for i = 0 to !tail - 1 do
+    let s = queue.(i) in
+    if s <> root then begin
+      let best = ref None in
+      Graph.iter_neighbors g s (fun my_port link peer parent_port ->
+          if levels.(peer) = levels.(s) - 1 then
+            match !best with
+            | None -> best := Some { link; my_port; parent_switch = peer; parent_port }
+            | Some cur ->
+              if Uid.compare (Graph.uid g peer) (Graph.uid g cur.parent_switch) < 0
+              then best := Some { link; my_port; parent_switch = peer; parent_port });
+      match !best with
+      | Some _ as p -> parents.(s) <- p
+      | None -> assert false (* levels form a BFS tree: a parent exists *)
+    end
+  done;
+  let tree_members = ref [] in
+  for s = n - 1 downto 0 do
+    if levels.(s) >= 0 then tree_members := s :: !tree_members
+  done;
+  { tree_root = root; tree_members = !tree_members; levels; parents }
 
 let compute_all g =
   Graph.components g
   |> List.map (fun comp -> compute g ~member:(List.hd comp))
+
+module Reference = struct
+  (* The original list-walking implementation, kept verbatim as the
+     correctness oracle for the flat-array fast path above (and as the
+     baseline the micro-benchmarks compare against). *)
+
+  let in_component g member =
+    List.find (fun comp -> List.mem member comp) (Graph.components g)
+
+  let compute g ~member =
+    let comp = in_component g member in
+    let root =
+      List.fold_left
+        (fun best s ->
+          if Uid.compare (Graph.uid g s) (Graph.uid g best) < 0 then s else best)
+        (List.hd comp) comp
+    in
+    let n = Graph.switch_count g in
+    let levels = Array.make n (-1) in
+    let parents = Array.make n None in
+    let queue = Queue.create () in
+    levels.(root) <- 0;
+    Queue.add root queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun (_, _, peer, _) ->
+          if levels.(peer) < 0 then begin
+            levels.(peer) <- levels.(v) + 1;
+            Queue.add peer queue
+          end)
+        (Graph.neighbors g v)
+    done;
+    List.iter
+      (fun s ->
+        if s <> root then begin
+          let best = ref None in
+          List.iter
+            (fun (my_port, link, peer, parent_port) ->
+              if levels.(peer) = levels.(s) - 1 then
+                let candidate = { link; my_port; parent_switch = peer; parent_port } in
+                match !best with
+                | None -> best := Some candidate
+                | Some cur ->
+                  let c =
+                    Uid.compare (Graph.uid g peer) (Graph.uid g cur.parent_switch)
+                  in
+                  if c < 0 then best := Some candidate)
+            (Graph.neighbors g s);
+          match !best with
+          | Some _ as p -> parents.(s) <- p
+          | None -> assert false
+        end)
+      comp;
+    { tree_root = root; tree_members = comp; levels; parents }
+end
 
 let root t = t.tree_root
 let members t = t.tree_members

@@ -46,7 +46,10 @@ type parent = {
 type t
 
 val compute : Graph.t -> member:Graph.switch -> t
-(** The spanning tree of the connected component containing [member]. *)
+(** The spanning tree of the connected component containing [member].
+    Runs on the packed adjacency fast path ({!Graph.iter_neighbors})
+    with flat int scratch arrays; {!Reference.compute} is the retained
+    list-based oracle it is cross-checked against. *)
 
 val compute_all : Graph.t -> t list
 (** One tree per connected component, ordered by root switch index. *)
@@ -75,3 +78,11 @@ val depth : t -> int
 (** Maximum level over members. *)
 
 val pp : Graph.t -> Format.formatter -> t -> unit
+
+module Reference : sig
+  (** The original list-based implementation, kept as the correctness
+      oracle for the fast path and as the micro-benchmark baseline.
+      Produces a value observationally identical to {!compute}'s. *)
+
+  val compute : Graph.t -> member:Graph.switch -> t
+end

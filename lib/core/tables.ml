@@ -11,15 +11,21 @@ let pp_entry ppf { broadcast; ports } =
     (if broadcast then "bcast" else "alt")
     (String.concat ";" (List.map string_of_int ports))
 
+(* Entries are keyed by the int [(address lsl 4) lor in_port]: ports fit
+   in 4 bits (max_ports <= 15, port 0 is the control processor) and
+   addresses in 16, exactly the hardware's concatenated index — and an
+   unboxed key spares a tuple allocation per probe. *)
+let key ~in_port ~addr = (Short_address.to_int addr lsl 4) lor in_port
+
 type spec = {
   spec_switch : Graph.switch;
-  entries : (int * int, entry) Hashtbl.t; (* (in_port, address) -> entry *)
+  entries : (int, entry) Hashtbl.t;
 }
 
 let switch t = t.spec_switch
 
 let lookup t ~in_port ~dst =
-  match Hashtbl.find_opt t.entries (in_port, Short_address.to_int dst) with
+  match Hashtbl.find_opt t.entries (key ~in_port ~addr:dst) with
   | Some e -> e
   | None -> discard
 
@@ -28,7 +34,9 @@ let entry_count t = Hashtbl.length t.entries
 let fold t ~init ~f =
   (* Deterministic iteration order for printing and comparison. *)
   let items =
-    Hashtbl.fold (fun (p, a) e acc -> ((p, a), e) :: acc) t.entries []
+    Hashtbl.fold
+      (fun k e acc -> ((k land 0xF, k lsr 4), e) :: acc)
+      t.entries []
     |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
   in
   List.fold_left
@@ -59,54 +67,19 @@ let is_host_port g s p = p <> 0 && Graph.host_at g (s, p) <> None
 let host_ports g s =
   List.filter (fun p -> is_host_port g s p) (Graph.used_ports g s)
 
-let build ?(mode = Minimal_routes) g tree updown routes assignment s =
-  if not (Spanning_tree.mem tree s) then
-    invalid_arg "Tables.build: switch not in the configured component";
-  let entries = Hashtbl.create 256 in
-  let add ~in_port ~addr e =
-    if e.ports <> [] then
-      Hashtbl.replace entries (in_port, Short_address.to_int addr) e
-  in
-  let in_ports = receiving_ports g updown s in
-  let next_hops =
-    match mode with
-    | Minimal_routes -> Routes.next_hops routes
-    | All_legal_routes -> Routes.all_next_hops routes
-  in
-  (* --- Assigned unicast destinations. ---
-     Every port address of every member switch gets an entry at remote
-     switches (the route depends only on the destination switch), so a
-     host plugged in after this reconfiguration is already reachable from
-     afar; delivery at the destination switch itself happens only for the
-     control processor and the ports known to hold hosts ("if the address
-     is not in use the packet is discarded"). *)
-  List.iter
-    (fun d ->
-      let hosts_of_d = host_ports g d in
-      for q = 0 to Graph.max_ports g do
-        let addr = Address_assign.address assignment d q in
-        List.iter
-          (fun in_port ->
-            if s = d then begin
-              if q = 0 || List.mem q hosts_of_d then
-                add ~in_port ~addr { broadcast = false; ports = [ q ] }
-            end
-            else begin
-              let phase = Routes.phase_of_arrival routes ~at:s ~in_port in
-              let hops = next_hops ~at:s ~phase ~dst:d in
-              let ports = List.sort_uniq Int.compare (List.map fst hops) in
-              add ~in_port ~addr { broadcast = false; ports }
-            end)
-          in_ports
-      done)
-    (Spanning_tree.members tree);
-  (* --- Constant part: 0x0000, one-hop, loopback. --- *)
+let add_entry entries ~in_port ~addr e =
+  if e.ports <> [] then Hashtbl.replace entries (key ~in_port ~addr) e
+
+(* The constant (0x0000, one-hop, loopback) and broadcast rows, shared by
+   the fast and reference builders: they are a few dozen entries and were
+   never the hot part. *)
+let constant_and_broadcast_entries g tree s ~entries ~in_ports =
   List.iter
     (fun p ->
       if is_host_port g s p then begin
-        add ~in_port:p ~addr:Short_address.local_switch
+        add_entry entries ~in_port:p ~addr:Short_address.local_switch
           { broadcast = false; ports = [ 0 ] };
-        add ~in_port:p ~addr:Short_address.loopback
+        add_entry entries ~in_port:p ~addr:Short_address.loopback
           { broadcast = false; ports = [ p ] }
       end)
     in_ports;
@@ -118,9 +91,10 @@ let build ?(mode = Minimal_routes) g tree updown routes assignment s =
           (* From the control processor: out the numbered local port, when
              that port is cabled to something that can hear us. *)
           (match Graph.link_at g (s, k) with
-          | Some _ -> add ~in_port ~addr { broadcast = false; ports = [ k ] }
+          | Some _ ->
+            add_entry entries ~in_port ~addr { broadcast = false; ports = [ k ] }
           | None -> ())
-        else add ~in_port ~addr { broadcast = false; ports = [ 0 ] })
+        else add_entry entries ~in_port ~addr { broadcast = false; ports = [ 0 ] })
       in_ports
   done;
   (* --- Broadcast flooding over the spanning tree. --- *)
@@ -166,19 +140,83 @@ let build ?(mode = Minimal_routes) g tree updown routes assignment s =
              returns with the down-phase flood): hosts filter by UID, as
              the paper's receiving-host rules require. *)
           let ports = List.sort_uniq Int.compare entry_ports in
-          add ~in_port ~addr { broadcast = true; ports })
+          add_entry entries ~in_port ~addr { broadcast = true; ports })
         in_ports)
     [ (Short_address.broadcast_all, `All);
       (Short_address.broadcast_switches, `Switches);
-      (Short_address.broadcast_hosts, `Hosts) ];
+      (Short_address.broadcast_hosts, `Hosts) ]
+
+let build ?(mode = Minimal_routes) g tree updown routes assignment s =
+  if not (Spanning_tree.mem tree s) then
+    invalid_arg "Tables.build: switch not in the configured component";
+  let entries = Hashtbl.create 256 in
+  let add = add_entry entries in
+  let in_ports = receiving_ports g updown s in
+  let next_hops =
+    match mode with
+    | Minimal_routes -> Routes.next_hops routes
+    | All_legal_routes -> Routes.all_next_hops routes
+  in
+  (* --- Assigned unicast destinations. ---
+     Every port address of every member switch gets an entry at remote
+     switches (the route depends only on the destination switch), so a
+     host plugged in after this reconfiguration is already reachable from
+     afar; delivery at the destination switch itself happens only for the
+     control processor and the ports known to hold hosts ("if the address
+     is not in use the packet is discarded").
+
+     The route out of [s] depends only on the arrival phase and the
+     destination switch, so the phase of every in-port and the two
+     next-hop entries per destination are computed once here rather than
+     once per (in-port, destination-port) pair as the reference
+     implementation does. *)
+  let phase_of =
+    let a = Array.make (Graph.max_ports g + 1) Routes.Up in
+    List.iter
+      (fun p -> a.(p) <- Routes.phase_of_arrival routes ~at:s ~in_port:p)
+      in_ports;
+    a
+  in
+  List.iter
+    (fun d ->
+      if s = d then begin
+        let hosts_of_d = host_ports g d in
+        for q = 0 to Graph.max_ports g do
+          if q = 0 || List.mem q hosts_of_d then begin
+            let addr = Address_assign.address assignment d q in
+            let e = { broadcast = false; ports = [ q ] } in
+            List.iter (fun in_port -> add ~in_port ~addr e) in_ports
+          end
+        done
+      end
+      else begin
+        let entry_for phase =
+          let hops = next_hops ~at:s ~phase ~dst:d in
+          let ports = List.sort_uniq Int.compare (List.map fst hops) in
+          { broadcast = false; ports }
+        in
+        let e_up = entry_for Routes.Up and e_down = entry_for Routes.Down in
+        for q = 0 to Graph.max_ports g do
+          let addr = Address_assign.address assignment d q in
+          List.iter
+            (fun in_port ->
+              let e =
+                match phase_of.(in_port) with
+                | Routes.Up -> e_up
+                | Routes.Down -> e_down
+              in
+              add ~in_port ~addr e)
+            in_ports
+        done
+      end)
+    (Spanning_tree.members tree);
+  constant_and_broadcast_entries g tree s ~entries ~in_ports;
   { spec_switch = s; entries }
 
 let of_entries ~switch entries_list =
   let entries = Hashtbl.create 64 in
   List.iter
-    (fun ((p, a), e) ->
-      if e.ports <> [] then
-        Hashtbl.replace entries (p, Short_address.to_int a) e)
+    (fun ((p, a), e) -> add_entry entries ~in_port:p ~addr:a e)
     entries_list;
   { spec_switch = switch; entries }
 
@@ -186,3 +224,51 @@ let build_all ?mode g tree updown routes assignment =
   List.map
     (fun s -> build ?mode g tree updown routes assignment s)
     (Spanning_tree.members tree)
+
+module Reference = struct
+  (* The original builder, kept as the correctness oracle and benchmark
+     baseline: it recomputes the arrival phase and the next-hop set from
+     the list-based {!Routes.Reference} machinery for every
+     (in-port, destination-address) pair. *)
+
+  let build ?(mode = Minimal_routes) g tree updown routes assignment s =
+    if not (Spanning_tree.mem tree s) then
+      invalid_arg "Tables.build: switch not in the configured component";
+    let entries = Hashtbl.create 256 in
+    let add = add_entry entries in
+    let in_ports = receiving_ports g updown s in
+    let next_hops =
+      match mode with
+      | Minimal_routes -> Routes.Reference.next_hops routes
+      | All_legal_routes -> Routes.Reference.all_next_hops routes
+    in
+    List.iter
+      (fun d ->
+        let hosts_of_d = host_ports g d in
+        for q = 0 to Graph.max_ports g do
+          let addr = Address_assign.address assignment d q in
+          List.iter
+            (fun in_port ->
+              if s = d then begin
+                if q = 0 || List.mem q hosts_of_d then
+                  add ~in_port ~addr { broadcast = false; ports = [ q ] }
+              end
+              else begin
+                let phase =
+                  Routes.Reference.phase_of_arrival routes ~at:s ~in_port
+                in
+                let hops = next_hops ~at:s ~phase ~dst:d in
+                let ports = List.sort_uniq Int.compare (List.map fst hops) in
+                add ~in_port ~addr { broadcast = false; ports }
+              end)
+            in_ports
+        done)
+      (Spanning_tree.members tree);
+    constant_and_broadcast_entries g tree s ~entries ~in_ports;
+    { spec_switch = s; entries }
+
+  let build_all ?mode g tree updown routes assignment =
+    List.map
+      (fun s -> build ?mode g tree updown routes assignment s)
+      (Spanning_tree.members tree)
+end

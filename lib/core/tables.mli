@@ -47,7 +47,11 @@ val build :
   ?mode:route_mode ->
   Graph.t -> Spanning_tree.t -> Updown.t -> Routes.t -> Address_assign.t ->
   Graph.switch -> spec
-(** The table for one member switch of the configured component. *)
+(** The table for one member switch of the configured component.  Fast
+    path: the arrival phase of each in-port and the (at most two)
+    next-hop port vectors per destination switch are computed once and
+    shared across the whole address block, instead of once per
+    (in-port, address) pair as {!Reference.build} does. *)
 
 val of_entries :
   switch:Graph.switch ->
@@ -63,3 +67,20 @@ val build_all :
   Graph.t -> Spanning_tree.t -> Updown.t -> Routes.t -> Address_assign.t ->
   spec list
 (** Tables for every member switch, ascending by switch index. *)
+
+module Reference : sig
+  (** The original per-entry builder driven by the list-based
+      {!Routes.Reference} machinery, kept as the correctness oracle and
+      micro-benchmark baseline.  Must produce specs identical to
+      {!build}/{!build_all}. *)
+
+  val build :
+    ?mode:route_mode ->
+    Graph.t -> Spanning_tree.t -> Updown.t -> Routes.Reference.r ->
+    Address_assign.t -> Graph.switch -> spec
+
+  val build_all :
+    ?mode:route_mode ->
+    Graph.t -> Spanning_tree.t -> Updown.t -> Routes.Reference.r ->
+    Address_assign.t -> spec list
+end

@@ -1,43 +1,41 @@
 open Autonet_net
 
 type t = {
-  ups : Graph.switch option array; (* indexed by link id *)
-  n_links_at_orient : int;
+  ups : int array; (* indexed by link id; -1 = excluded from the config *)
 }
 
+(* Shared orientation rule: the up end of a non-loop link between two tree
+   members is the end closer to the root, ties toward the smaller UID. *)
+let up_of g tree (l : Graph.link) =
+  let sa, _ = l.a and sb, _ = l.b in
+  if Graph.is_loop l || (not (Spanning_tree.mem tree sa))
+     || not (Spanning_tree.mem tree sb)
+  then -1
+  else
+    let la = Spanning_tree.level tree sa and lb = Spanning_tree.level tree sb in
+    if la < lb then sa
+    else if lb < la then sb
+    else if Uid.compare (Graph.uid g sa) (Graph.uid g sb) <= 0 then sa
+    else sb
+
 let orient g tree =
-  let max_id =
-    List.fold_left (fun acc (l : Graph.link) -> Stdlib.max acc l.id) (-1) (Graph.links g)
-  in
-  let ups = Array.make (max_id + 1) None in
-  List.iter
-    (fun (l : Graph.link) ->
-      let sa, _ = l.a and sb, _ = l.b in
-      if (not (Graph.is_loop l)) && Spanning_tree.mem tree sa
-         && Spanning_tree.mem tree sb
-      then begin
-        let la = Spanning_tree.level tree sa
-        and lb = Spanning_tree.level tree sb in
-        let up =
-          if la < lb then sa
-          else if lb < la then sb
-          else if Uid.compare (Graph.uid g sa) (Graph.uid g sb) <= 0 then sa
-          else sb
-        in
-        ups.(l.id) <- Some up
-      end)
-    (Graph.links g);
-  { ups; n_links_at_orient = max_id + 1 }
+  let ups = Array.make (Graph.max_link_id g + 1) (-1) in
+  Graph.iter_links g (fun l -> ups.(l.id) <- up_of g tree l);
+  { ups }
+
+let up_end_i t id =
+  if id < 0 || id >= Array.length t.ups then -1 else t.ups.(id)
 
 let up_end t id =
-  if id < 0 || id >= Array.length t.ups then None else t.ups.(id)
+  let u = up_end_i t id in
+  if u < 0 then None else Some u
 
-let usable t id = up_end t id <> None
+let usable t id = up_end_i t id >= 0
 
 let goes_up t (l : Graph.link) ~from =
-  match up_end t l.id with
-  | None -> invalid_arg "Updown.goes_up: link not in the configuration"
-  | Some up ->
+  match up_end_i t l.id with
+  | -1 -> invalid_arg "Updown.goes_up: link not in the configuration"
+  | up ->
     let sa, _ = l.a and sb, _ = l.b in
     if from <> sa && from <> sb then
       invalid_arg "Updown.goes_up: switch not on this link";
@@ -49,7 +47,7 @@ let goes_up t (l : Graph.link) ~from =
 let usable_links t =
   let acc = ref [] in
   for id = Array.length t.ups - 1 downto 0 do
-    if t.ups.(id) <> None then acc := id :: !acc
+    if t.ups.(id) >= 0 then acc := id :: !acc
   done;
   !acc
 
@@ -96,3 +94,19 @@ let pp g ppf t =
       | _, _ -> ())
     (usable_links t);
   Format.fprintf ppf "@]"
+
+module Reference = struct
+  (* The original implementation: recomputes the maximum link id with a
+     fold over the freshly allocated [Graph.links] list and walks that
+     list again to orient.  Kept as the oracle and benchmark baseline. *)
+
+  let orient g tree =
+    let max_id =
+      List.fold_left
+        (fun acc (l : Graph.link) -> Stdlib.max acc l.id)
+        (-1) (Graph.links g)
+    in
+    let ups = Array.make (max_id + 1) (-1) in
+    List.iter (fun (l : Graph.link) -> ups.(l.id) <- up_of g tree l) (Graph.links g);
+    { ups }
+end

@@ -11,11 +11,18 @@ type t
 
 val orient : Graph.t -> Spanning_tree.t -> t
 (** Orientation of all non-loop links between member switches of the given
-    tree's component. *)
+    tree's component.  Sizes its per-link array with
+    {!Graph.max_link_id} and iterates links with {!Graph.iter_links},
+    so no intermediate link list is allocated. *)
 
 val up_end : t -> Graph.link_id -> Graph.switch option
 (** The switch at the "up" end, or [None] when the link is excluded (loop
     link, removed link, or outside the component). *)
+
+val up_end_i : t -> Graph.link_id -> int
+(** Allocation-free variant of {!up_end}: the up-end switch index, or
+    [-1] when the link is excluded.  The inner loops of {!Routes} use
+    this. *)
 
 val usable : t -> Graph.link_id -> bool
 
@@ -32,3 +39,11 @@ val verify_acyclic : Graph.t -> t -> bool
     orientation must establish.  Exposed for property tests. *)
 
 val pp : Graph.t -> Format.formatter -> t -> unit
+
+module Reference : sig
+  (** The original list-walking implementation (max link id recomputed by
+      folding over [Graph.links]), kept as the correctness oracle and
+      micro-benchmark baseline. *)
+
+  val orient : Graph.t -> Spanning_tree.t -> t
+end

@@ -1,0 +1,140 @@
+(* Crosscheck of the flat-array configuration fast path against the
+   retained list-based reference implementations: on randomized
+   topologies the two must produce identical spanning trees, up*/down*
+   orientations, route distances / next hops, and forwarding-table
+   specs.  Seeded through Autonet_sim.Rng so every run covers the same
+   topologies. *)
+
+open Autonet_core
+module Rng = Autonet_sim.Rng
+
+let n_topologies = 110
+
+let spec_to_list spec =
+  ( Tables.switch spec,
+    Tables.fold spec ~init:[] ~f:(fun acc ~in_port ~dst e ->
+        ((in_port, Autonet_net.Short_address.to_int dst), e) :: acc)
+    |> List.rev )
+
+let check_topology seed =
+  let rng = Rng.create ~seed:(Int64.of_int seed) in
+  let topo = Testlib.random_topology rng ~max_n:9 in
+  let g = topo.Autonet_topo.Builders.graph in
+  (* Every third topology loses a random link first, so the crosscheck
+     also covers adjacency-cache invalidation and disconnected ids. *)
+  if seed mod 3 = 0 then begin
+    let links = Graph.links g in
+    let l = List.nth links (Rng.int rng (List.length links)) in
+    Graph.disconnect g l.Graph.id
+  end;
+  let fail fmt = Alcotest.failf ("seed %d: " ^^ fmt) seed in
+  (* --- Spanning tree. --- *)
+  let tree_f = Spanning_tree.compute g ~member:0 in
+  let tree_r = Spanning_tree.Reference.compute g ~member:0 in
+  if Spanning_tree.root tree_f <> Spanning_tree.root tree_r then
+    fail "tree roots differ";
+  if Spanning_tree.members tree_f <> Spanning_tree.members tree_r then
+    fail "tree members differ";
+  List.iter
+    (fun s ->
+      if Spanning_tree.level tree_f s <> Spanning_tree.level tree_r s then
+        fail "level of s%d differs" s;
+      if Spanning_tree.parent tree_f s <> Spanning_tree.parent tree_r s then
+        fail "parent of s%d differs" s)
+    (Spanning_tree.members tree_f);
+  (* --- Orientation. --- *)
+  let updown_f = Updown.orient g tree_f in
+  let updown_r = Updown.Reference.orient g tree_r in
+  for id = 0 to Graph.max_link_id g do
+    if Updown.up_end updown_f id <> Updown.up_end updown_r id then
+      fail "up end of link %d differs" id
+  done;
+  (* --- Routes. --- *)
+  let routes_f = Routes.compute g tree_f updown_f in
+  let routes_r = Routes.Reference.compute g tree_r updown_r in
+  let n = Graph.switch_count g in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      List.iter
+        (fun phase ->
+          if
+            Routes.distance_from routes_f ~src ~phase ~dst
+            <> Routes.Reference.distance_from routes_r ~src ~phase ~dst
+          then fail "distance s%d->s%d differs" src dst;
+          if
+            Routes.next_hops routes_f ~at:src ~phase ~dst
+            <> Routes.Reference.next_hops routes_r ~at:src ~phase ~dst
+          then fail "next hops s%d->s%d differ" src dst;
+          if
+            Routes.all_next_hops routes_f ~at:src ~phase ~dst
+            <> Routes.Reference.all_next_hops routes_r ~at:src ~phase ~dst
+          then fail "all next hops s%d->s%d differ" src dst)
+        [ Routes.Up; Routes.Down ]
+    done
+  done;
+  (* --- Forwarding tables, in both route modes. --- *)
+  let assignment =
+    Address_assign.make g
+      (List.map (fun s -> (s, 1)) (Spanning_tree.members tree_f))
+  in
+  List.iter
+    (fun mode ->
+      let specs_f =
+        Tables.build_all ~mode g tree_f updown_f routes_f assignment
+      in
+      let specs_r =
+        Tables.Reference.build_all ~mode g tree_r updown_r routes_r assignment
+      in
+      if List.length specs_f <> List.length specs_r then
+        fail "spec counts differ";
+      List.iter2
+        (fun a b ->
+          if spec_to_list a <> spec_to_list b then
+            fail "table spec for s%d differs" (Tables.switch a))
+        specs_f specs_r)
+    [ Tables.Minimal_routes; Tables.All_legal_routes ]
+
+let test_crosscheck () =
+  for seed = 1 to n_topologies do
+    check_topology seed
+  done
+
+let test_iter_neighbors_matches_list () =
+  (* The packed iterator yields exactly the neighbors list, including
+     after mutations that must invalidate the cache. *)
+  let rng = Rng.create ~seed:42L in
+  for _ = 1 to 20 do
+    let topo = Testlib.random_topology rng ~max_n:8 in
+    let g = topo.Autonet_topo.Builders.graph in
+    let check () =
+      List.iter
+        (fun s ->
+          let got = ref [] in
+          Graph.iter_neighbors g s (fun p l peer peer_port ->
+              got := (p, l, peer, peer_port) :: !got);
+          Alcotest.(check bool)
+            "iter_neighbors equals neighbors" true
+            (List.rev !got = Graph.neighbors g s);
+          Alcotest.(check int)
+            "degree equals neighbor count"
+            (List.length (Graph.neighbors g s))
+            (Graph.degree g s))
+        (Graph.switches g)
+    in
+    check ();
+    let links = Graph.links g in
+    let l = List.nth links (Rng.int rng (List.length links)) in
+    Graph.disconnect g l.Graph.id;
+    check ()
+  done
+
+let () =
+  Alcotest.run "fastpath"
+    [ ( "crosscheck",
+        [ Alcotest.test_case
+            (Printf.sprintf "fast path equals reference on %d random topologies"
+               n_topologies)
+            `Quick test_crosscheck ] );
+      ( "graph",
+        [ Alcotest.test_case "iter_neighbors matches the list API" `Quick
+            test_iter_neighbors_matches_list ] ) ]
