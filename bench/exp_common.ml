@@ -15,7 +15,7 @@ type configured = {
   specs : Tables.spec list;
 }
 
-let configure ?mode (t : B.t) =
+let configure ?mode ?pool (t : B.t) =
   let g = t.B.graph in
   let tree = Spanning_tree.compute g ~member:0 in
   let updown = Updown.orient g tree in
@@ -24,7 +24,13 @@ let configure ?mode (t : B.t) =
     Address_assign.make g
       (List.map (fun s -> (s, 1)) (Spanning_tree.members tree))
   in
-  let specs = Tables.build_all ?mode g tree updown routes assignment in
+  (* Experiments take the multicore path by default (AUTONET_DOMAINS,
+     falling back to the machine); the specs are bit-identical to the
+     serial build, so every experiment's output is unchanged. *)
+  let pool =
+    match pool with Some p -> p | None -> Autonet_parallel.Pool.default ()
+  in
+  let specs = Tables.build_all ?mode ~pool g tree updown routes assignment in
   { graph = g; tree; updown; routes; assignment; specs }
 
 let host_eps g =

@@ -4,18 +4,22 @@
    synthesis, channel-dependency analysis and topology-report codec.
    These are the costs the paper's 68000 paid in its table_load_time.
 
-   Each kernel is measured twice — the flat-array fast path that the
-   pipeline now runs, and the retained list-based [Reference]
-   implementation — on the 30-switch SRC service LAN and on a 64-switch
-   torus (diameter 8, the paper's "function of the maximum
-   switch-to-switch distance" regime).  With [--json FILE] the ns/op and
-   fast-vs-reference speedups are also written as JSON, the perf
+   The two kernels that dominate the root's epoch latency — table
+   synthesis and the deadlock check — are measured three ways: the
+   domain-pool parallel path the pipeline now runs (bare kernel name),
+   the same code on one domain ([_serial]), and the retained list-based
+   [Reference] implementation ([_ref]).  Topologies: the 30-switch SRC
+   service LAN, a 64-switch torus (diameter 8, the paper's "function of
+   the maximum switch-to-switch distance" regime) and — outside smoke
+   mode — a 256-switch 16x16 torus for scaling.  With [--json FILE] the
+   ns/op, speedups and the domain count are written as JSON, the perf
    trajectory future changes regress against. *)
 
 open Bechamel
 open Toolkit
 open Autonet_core
 module B = Autonet_topo.Builders
+module Pool = Autonet_parallel.Pool
 
 (* Options, set by [main.ml] before dispatch. *)
 let json_path : string option ref = ref None
@@ -29,6 +33,7 @@ type ctx = {
   routes : Routes.t;
   routes_ref : Routes.Reference.r;
   assignment : Address_assign.t;
+  specs : Tables.spec list;
 }
 
 let make_ctx (t : B.t) =
@@ -41,11 +46,15 @@ let make_ctx (t : B.t) =
     Address_assign.make g
       (List.map (fun s -> (s, 1)) (Spanning_tree.members tree))
   in
-  { topo_name = t.B.name; g; tree; updown; routes; routes_ref; assignment }
+  let specs = Tables.build_all g tree updown routes assignment in
+  { topo_name = t.B.name; g; tree; updown; routes; routes_ref; assignment;
+    specs }
 
-(* The paired kernels: [name] runs the fast path, [name ^ "_ref"] the
-   retained reference implementation of the same computation. *)
-let paired_tests c =
+(* The paired kernels.  [heavy_refs] gates the two reference
+   implementations whose cost grows super-linearly with the topology (the
+   per-entry table builder and the pair-hashtable deadlock checker):
+   they are skipped on the 256-switch scaling torus. *)
+let paired_tests ?(heavy_refs = true) pool c =
   [ Test.make ~name:"spanning_tree"
       (Staged.stage (fun () -> Spanning_tree.compute c.g ~member:0));
     Test.make ~name:"spanning_tree_ref"
@@ -60,11 +69,23 @@ let paired_tests c =
       (Staged.stage (fun () -> Routes.Reference.compute c.g c.tree c.updown));
     Test.make ~name:"tables_all_switches"
       (Staged.stage (fun () ->
-           Tables.build_all c.g c.tree c.updown c.routes c.assignment));
-    Test.make ~name:"tables_all_switches_ref"
+           Tables.build_all ~pool c.g c.tree c.updown c.routes c.assignment));
+    Test.make ~name:"tables_all_switches_serial"
       (Staged.stage (fun () ->
-           Tables.Reference.build_all c.g c.tree c.updown c.routes_ref
-             c.assignment)) ]
+           Tables.build_all c.g c.tree c.updown c.routes c.assignment));
+    Test.make ~name:"deadlock_check"
+      (Staged.stage (fun () -> Deadlock.check_tables ~pool c.g c.specs));
+    Test.make ~name:"deadlock_check_serial"
+      (Staged.stage (fun () -> Deadlock.check_tables c.g c.specs)) ]
+  @
+  if heavy_refs then
+    [ Test.make ~name:"tables_all_switches_ref"
+        (Staged.stage (fun () ->
+             Tables.Reference.build_all c.g c.tree c.updown c.routes_ref
+               c.assignment));
+      Test.make ~name:"deadlock_check_ref"
+        (Staged.stage (fun () -> Deadlock.Reference.check_tables c.g c.specs)) ]
+  else []
 
 (* Unpaired kernels measured on the SRC topology only, to keep the
    historical table. *)
@@ -111,12 +132,9 @@ let src_extra_tests c =
     Topology_report.encode w report;
     Autonet_net.Wire.Writer.contents w
   in
-  let specs = Tables.build_all c.g c.tree c.updown c.routes c.assignment in
   [ Test.make ~name:"tables_one_switch"
       (Staged.stage (fun () ->
            Tables.build c.g c.tree c.updown c.routes c.assignment 0));
-    Test.make ~name:"deadlock_check"
-      (Staged.stage (fun () -> Deadlock.check_tables c.g specs));
     Test.make ~name:"report_encode"
       (Staged.stage (fun () ->
            let w = Autonet_net.Wire.Writer.create () in
@@ -131,8 +149,11 @@ let src_extra_tests c =
 let quota_s () = if !smoke then 0.01 else 0.25
 
 (* Run one topology's tests and return (kernel name, ns/op), kernel
-   names stripped of the bechamel group prefix. *)
-let measure tests =
+   names stripped of the bechamel group prefix.  [quota_mult] stretches
+   the time budget for topologies whose kernels run into the hundreds
+   of milliseconds — at the default quota they would get only one or
+   two samples and the OLS estimate degenerates into GC noise. *)
+let measure ?(quota_mult = 1.0) tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
@@ -140,7 +161,8 @@ let measure tests =
   let cfg =
     Benchmark.cfg
       ~limit:(if !smoke then 50 else 300)
-      ~quota:(Time.second (quota_s ())) ~kde:None ()
+      ~quota:(Time.second (quota_s () *. quota_mult))
+      ~kde:None ()
   in
   let grouped = Test.make_grouped ~name:"kernels" tests in
   let raw = Benchmark.all cfg instances grouped in
@@ -168,33 +190,46 @@ let pp_ns ns =
   else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
   else Printf.sprintf "%.0f ns" ns
 
+let is_variant name =
+  Filename.check_suffix name "_ref" || Filename.check_suffix name "_serial"
+
+let speedup_cell num den =
+  match (num, den) with
+  | Some v, d when (not (Float.is_nan v)) && not (Float.is_nan d) ->
+    Printf.sprintf "%.1fx" (v /. d)
+  | _ -> "-"
+
 let print_table title rows =
   let r =
     Autonet_analysis.Report.create ~title
-      ~columns:[ "kernel"; "fast path"; "reference"; "speedup" ]
+      ~columns:
+        [ "kernel"; "pipeline"; "serial"; "reference"; "vs serial"; "vs ref" ]
   in
   List.iter
     (fun (name, ns) ->
-      if not (Filename.check_suffix name "_ref") then begin
+      if not (is_variant name) then begin
+        let serial_ns = List.assoc_opt (name ^ "_serial") rows in
         let ref_ns = List.assoc_opt (name ^ "_ref") rows in
-        let ref_cell = match ref_ns with Some v -> pp_ns v | None -> "-" in
-        let speedup =
-          match ref_ns with
-          | Some v when (not (Float.is_nan v)) && not (Float.is_nan ns) ->
-            Printf.sprintf "%.1fx" (v /. ns)
-          | _ -> "-"
-        in
-        Autonet_analysis.Report.add_row r [ name; pp_ns ns; ref_cell; speedup ]
+        let cell = function Some v -> pp_ns v | None -> "-" in
+        Autonet_analysis.Report.add_row r
+          [ name; pp_ns ns; cell serial_ns; cell ref_ns;
+            speedup_cell serial_ns ns; speedup_cell ref_ns ns ]
       end)
     rows;
   Autonet_analysis.Report.print r
 
 let json_of_topology buf (name, g, dia, rows) =
   let kernel_json (kname, ns) =
-    if Filename.check_suffix kname "_ref" then None
+    if is_variant kname then None
     else begin
       let b = Buffer.create 128 in
       Printf.bprintf b "      { \"name\": %S, \"ns_per_op\": %.1f" kname ns;
+      (match List.assoc_opt (kname ^ "_serial") rows with
+      | Some serial_ns ->
+        Printf.bprintf b
+          ", \"serial_ns_per_op\": %.1f, \"parallel_speedup\": %.2f" serial_ns
+          (serial_ns /. ns)
+      | None -> ());
       (match List.assoc_opt (kname ^ "_ref") rows with
       | Some ref_ns ->
         Printf.bprintf b ", \"reference_ns_per_op\": %.1f, \"speedup\": %.2f"
@@ -209,11 +244,11 @@ let json_of_topology buf (name, g, dia, rows) =
     name (Graph.switch_count g) (Graph.link_count g) dia
     (String.concat ",\n" (List.filter_map kernel_json rows))
 
-let write_json path topologies =
+let write_json path ~domains topologies =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf
-    "{\n  \"schema\": \"autonet-bench-micro\",\n  \"version\": 1,\n  \"quota_s\": %.3f,\n  \"smoke\": %b,\n  \"topologies\": [\n"
-    (quota_s ()) !smoke;
+    "{\n  \"schema\": \"autonet-bench-micro\",\n  \"version\": 2,\n  \"quota_s\": %.3f,\n  \"smoke\": %b,\n  \"domains\": %d,\n  \"topologies\": [\n"
+    (quota_s ()) !smoke domains;
   List.iteri
     (fun i t ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -227,20 +262,41 @@ let write_json path topologies =
 
 let run () =
   Exp_common.section "Micro-benchmarks: reconfiguration kernels (bechamel)";
+  let pool = Pool.create () in
+  Printf.printf
+    "domain pool: %d domain(s) (AUTONET_DOMAINS or recommended count)\n%!"
+    (Pool.domains pool);
   let src = make_ctx (B.src_service_lan ()) in
   let big = make_ctx (B.attach_hosts (B.torus ~rows:8 ~cols:8 ()) ~per_switch:2) in
-  let src_rows = measure (paired_tests src @ src_extra_tests src) in
+  let src_rows = measure (paired_tests pool src @ src_extra_tests src) in
   print_table
-    "per-call cost on the 30-switch SRC topology (fast path vs retained reference)"
+    "per-call cost on the 30-switch SRC topology (parallel pipeline vs serial vs reference)"
     src_rows;
-  let big_rows = measure (paired_tests big) in
+  let big_rows = measure (paired_tests pool big) in
   print_table "per-call cost on the 64-switch torus (diameter 8)" big_rows;
+  let scaling =
+    if !smoke then None
+    else begin
+      let huge =
+        make_ctx (B.attach_hosts (B.torus ~rows:16 ~cols:16 ()) ~per_switch:2)
+      in
+      let rows =
+        measure ~quota_mult:8.0 (paired_tests ~heavy_refs:false pool huge)
+      in
+      print_table
+        "per-call cost on the 256-switch 16x16 torus (scaling; heavy references skipped)"
+        rows;
+      Some (huge, rows)
+    end
+  in
   Printf.printf
     "(these are the software costs behind table_load_time: the paper's 68000\n\
     \ paid them at roughly 100x a modern core's prices)\n\n";
-  match !json_path with
+  (match !json_path with
   | None -> ()
   | Some path ->
-    write_json path
-      [ (src.topo_name, src.g, Exp_common.diameter src.g, src_rows);
-        (big.topo_name, big.g, Exp_common.diameter big.g, big_rows) ]
+    let topo c rows = (c.topo_name, c.g, Exp_common.diameter c.g, rows) in
+    write_json path ~domains:(Pool.domains pool)
+      ([ topo src src_rows; topo big big_rows ]
+      @ match scaling with Some (c, rows) -> [ topo c rows ] | None -> []));
+  Pool.shutdown pool

@@ -96,14 +96,16 @@ let cmd_route topo src dst =
 
 let cmd_check topo =
   let g, tree, updown, routes, assignment = configure topo in
-  let specs = Tables.build_all g tree updown routes assignment in
+  let pool = Autonet_parallel.Pool.default () in
+  let specs = Tables.build_all ~pool g tree updown routes assignment in
   let net = Verify.make g specs in
   Format.printf "switches: %d, links: %d, host ports: %d@."
     (Graph.switch_count g) (Graph.link_count g)
     (List.length (Graph.hosts g));
+  Format.printf "domains: %d@." (Autonet_parallel.Pool.domains pool);
   Format.printf "orientation acyclic: %b@." (Updown.verify_acyclic g updown);
   Format.printf "deadlock analysis: %a@." Deadlock.pp_result
-    (Deadlock.check_tables g specs);
+    (Deadlock.check_tables ~pool g specs);
   Format.printf "down-then-up entries: %s@."
     (if Verify.no_down_then_up net updown then "none" else "PRESENT (bug)");
   let failures = Verify.all_hosts_reach_all net assignment in

@@ -150,6 +150,24 @@ let finish_configuration t report =
       log t "computing tables: %d switches, number %d"
         (Topology_report.size report)
         (Option.value ~default:(-1) t.my_number);
+      (* The root already holds the complete topology, so it can afford
+         the global safety check the other switches cannot: synthesize
+         every member's table across the domain pool and verify the
+         channel-dependency graph is acyclic before this epoch's tables
+         go live.  Results are bit-identical for any domain count, so the
+         simulator stays deterministic. *)
+      if is_root t then begin
+        let pool = Autonet_parallel.Pool.default () in
+        let all = Tables.build_all ~pool g tree updown routes assignment in
+        match Deadlock.check_tables ~pool g all with
+        | Deadlock.Acyclic ->
+          log t "root verify: %d tables deadlock-free (%d domain(s))"
+            (List.length all)
+            (Autonet_parallel.Pool.domains pool)
+        | Deadlock.Cycle _ as r ->
+          log t "root verify: DEADLOCK in computed tables: %a"
+            Deadlock.pp_result r
+      end;
       t.callbacks.cb_load_tables spec assignment
   end;
   (* Flood the complete topology to every claiming child that has not

@@ -94,6 +94,9 @@ let number t s =
 
 let switch_of_number t k = Hashtbl.find_opt t.by_number k
 
+let max_number t =
+  Array.fold_left (fun acc k -> if k > acc then k else acc) (-1) t.numbers
+
 let address t s port =
   match number t s with
   | None -> invalid_arg "Address_assign.address: unassigned switch"

@@ -30,6 +30,10 @@ val number : t -> Graph.switch -> int option
 
 val switch_of_number : t -> int -> Graph.switch option
 
+val max_number : t -> int
+(** Largest assigned switch number, or [-1] for an empty assignment.
+    Bounds the dense key space of assigned short addresses. *)
+
 val address : t -> Graph.switch -> Graph.port -> Short_address.t
 (** Short address of the given port.  Raises [Invalid_argument] for an
     unassigned switch. *)

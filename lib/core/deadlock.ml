@@ -38,114 +38,285 @@ let channel_of_index g idx =
     if idx land 1 = 0 then { link = link_id; from_switch = sa; to_switch = sb }
     else { link = link_id; from_switch = sb; to_switch = sa }
 
-let max_channel g =
-  List.fold_left
-    (fun acc (l : Graph.link) -> Stdlib.max acc ((2 * l.id) + 2))
-    0 (Graph.links g)
+let max_channel g = 2 * (Graph.max_link_id g + 1)
 
-let find_cycle g adj n =
-  (* 0 = white, 1 = on stack, 2 = done.  Returns the first back-edge cycle
-     found, as a channel list. *)
-  let state = Array.make n 0 in
-  let parent = Array.make n (-1) in
-  let exception Found of int * int in
-  let rec dfs v =
-    state.(v) <- 1;
-    List.iter
-      (fun w ->
-        if state.(w) = 1 then raise (Found (v, w))
-        else if state.(w) = 0 then begin
-          parent.(w) <- v;
-          dfs w
+(* --- Per-switch edge generation. ---
+
+   Every dependency edge generated at switch [s] runs from a channel
+   {e into} [s] to a channel {e out of} [s], and a channel points into
+   exactly one switch — so per-switch edge sets touch disjoint source
+   channels and can be built independently (and in parallel), then merged
+   into a CSR without any cross-switch deduplication.
+
+   Within one switch both endpoints are determined by port numbers, so
+   the edge set is at most [max_ports] bitmasks of [max_ports] bits: for
+   each in-port, one int whose bit [q] says "may continue out of port
+   [q]".  Setting a bit both deduplicates and replaces the old
+   [(c1, c2)] pair-hashtable. *)
+
+type switch_edges = {
+  se_in : int array;   (* in-channel arriving on port p, or -1 *)
+  se_out : int array;  (* out-channel leaving on port p, or -1 *)
+  se_mask : int array; (* per in-port: bitmask of continuation out-ports *)
+}
+
+(* Resolve each cabled port of [s] to its two channel directions with a
+   single link lookup (the old checker resolved the in-link twice per
+   table entry). *)
+let channel_maps g s =
+  let mp = Graph.max_ports g in
+  let se_in = Array.make (mp + 1) (-1) in
+  let se_out = Array.make (mp + 1) (-1) in
+  for p = 1 to mp do
+    match Graph.link_at g (s, p) with
+    | None -> ()
+    | Some l_id -> (
+      match Graph.link g l_id with
+      | None -> ()
+      | Some l ->
+        if not (Graph.is_loop l) then begin
+          let sa, _ = l.a in
+          if s = sa then begin
+            se_out.(p) <- 2 * l_id;
+            se_in.(p) <- (2 * l_id) + 1
+          end
+          else begin
+            se_out.(p) <- (2 * l_id) + 1;
+            se_in.(p) <- 2 * l_id
+          end
         end)
-      adj.(v);
-    state.(v) <- 2
-  in
+  done;
+  (se_in, se_out)
+
+let spec_edges g spec =
+  let s = Tables.switch spec in
+  let se_in, se_out = channel_maps g s in
+  let mp = Array.length se_in - 1 in
+  let se_mask = Array.make (mp + 1) 0 in
+  Tables.iter spec ~f:(fun ~in_port ~dst:_ entry ->
+      if
+        (not entry.Tables.broadcast)
+        && in_port > 0 && in_port <= mp
+        && se_in.(in_port) >= 0
+      then
+        List.iter
+          (fun p ->
+            if p > 0 && p <= mp && se_out.(p) >= 0 then
+              se_mask.(in_port) <- se_mask.(in_port) lor (1 lsl p))
+          entry.Tables.ports);
+  { se_in; se_out; se_mask }
+
+(* Merge per-switch masks into one CSR adjacency over channels.  Rows are
+   filled in ascending out-port order, so the graph (and therefore the
+   cycle witness below) is identical however the per-switch parts were
+   scheduled. *)
+let build_csr n per_switch =
+  let off = Array.make (n + 1) 0 in
+  List.iter
+    (fun se ->
+      Array.iteri
+        (fun p mask ->
+          if mask <> 0 then begin
+            let c1 = se.se_in.(p) in
+            let deg = ref 0 in
+            Array.iteri
+              (fun q c2 ->
+                if c2 >= 0 && mask land (1 lsl q) <> 0 then incr deg)
+              se.se_out;
+            off.(c1 + 1) <- off.(c1 + 1) + !deg
+          end)
+        se.se_mask)
+    per_switch;
+  for c = 1 to n do
+    off.(c) <- off.(c) + off.(c - 1)
+  done;
+  let adj = Array.make off.(n) 0 in
+  let cursor = Array.make (n + 1) 0 in
+  Array.blit off 0 cursor 0 (n + 1);
+  List.iter
+    (fun se ->
+      Array.iteri
+        (fun p mask ->
+          if mask <> 0 then begin
+            let c1 = se.se_in.(p) in
+            Array.iteri
+              (fun q c2 ->
+                if c2 >= 0 && mask land (1 lsl q) <> 0 then begin
+                  adj.(cursor.(c1)) <- c2;
+                  cursor.(c1) <- cursor.(c1) + 1
+                end)
+              se.se_out
+          end)
+        se.se_mask)
+    per_switch;
+  (off, adj)
+
+(* Iterative coloring DFS over the CSR: 0 = white, 1 = on stack, 2 =
+   done.  Returns the first back-edge cycle found, exactly as the old
+   recursive version did — but with an explicit stack, so the depth is
+   bounded by memory rather than the native stack (a single dependency
+   chain of 100k+ channels used to overflow it). *)
+let find_cycle_csr g ~off ~adj n =
+  let state = Array.make (Stdlib.max n 1) 0 in
+  let parent = Array.make (Stdlib.max n 1) (-1) in
+  let stack_v = Array.make (Stdlib.max n 1) 0 in
+  let stack_i = Array.make (Stdlib.max n 1) 0 in
+  let found_v = ref (-1) and found_w = ref (-1) in
+  let exception Found in
   try
-    for v = 0 to n - 1 do
-      if state.(v) = 0 && adj.(v) <> [] then dfs v
+    for root = 0 to n - 1 do
+      if state.(root) = 0 && off.(root + 1) > off.(root) then begin
+        state.(root) <- 1;
+        stack_v.(0) <- root;
+        stack_i.(0) <- off.(root);
+        let sp = ref 1 in
+        while !sp > 0 do
+          let top = !sp - 1 in
+          let v = stack_v.(top) in
+          let i = stack_i.(top) in
+          if i >= off.(v + 1) then begin
+            state.(v) <- 2;
+            decr sp
+          end
+          else begin
+            stack_i.(top) <- i + 1;
+            let w = adj.(i) in
+            if state.(w) = 1 then begin
+              found_v := v;
+              found_w := w;
+              raise Found
+            end
+            else if state.(w) = 0 then begin
+              parent.(w) <- v;
+              state.(w) <- 1;
+              stack_v.(!sp) <- w;
+              stack_i.(!sp) <- off.(w);
+              incr sp
+            end
+          end
+        done
+      end
     done;
     Acyclic
-  with Found (v, w) ->
+  with Found ->
     (* Walk parents from v back to w to materialize the cycle. *)
-    let rec collect acc u = if u = w then u :: acc else collect (u :: acc) parent.(u) in
-    let cycle = collect [] v in
-    Cycle (List.map (channel_of_index g) cycle)
+    let rec collect acc u =
+      if u = !found_w then u :: acc else collect (u :: acc) parent.(u)
+    in
+    Cycle (List.map (channel_of_index g) (collect [] !found_v))
 
-let check_tables g specs =
+let check_tables ?pool g specs =
   let n = max_channel g in
-  let adj = Array.make n [] in
-  let seen = Hashtbl.create 1024 in
-  let add_edge c1 c2 =
-    if not (Hashtbl.mem seen (c1, c2)) then begin
-      Hashtbl.replace seen (c1, c2) ();
-      adj.(c1) <- c2 :: adj.(c1)
-    end
+  let per_switch =
+    match pool with
+    | Some pool
+      when Autonet_parallel.Pool.domains pool > 1
+           && List.compare_length_with specs 1 > 0 ->
+      Array.to_list
+        (Autonet_parallel.Pool.parallel_map_array pool (spec_edges g)
+           (Array.of_list specs))
+    | Some _ | None -> List.map (spec_edges g) specs
   in
-  List.iter
-    (fun spec ->
-      let s = Tables.switch spec in
-      Tables.fold spec ~init:() ~f:(fun () ~in_port ~dst:_ entry ->
-          if (not entry.Tables.broadcast) && in_port <> 0 then
-            match Graph.link_at g (s, in_port) with
-            | None -> ()
-            | Some l_in -> (
-              match channel_index g ~link_id:l_in ~from_switch:(
-                match Graph.link g l_in with
-                | Some l -> fst (Graph.other_end l s)
-                | None -> s)
-              with
-              | None -> ()
-              | Some c1 ->
-                List.iter
-                  (fun p ->
-                    if p <> 0 then
-                      match Graph.link_at g (s, p) with
-                      | None -> ()
-                      | Some l_out -> (
-                        match channel_index g ~link_id:l_out ~from_switch:s with
-                        | None -> ()
-                        | Some c2 -> add_edge c1 c2))
-                  entry.Tables.ports)))
-    specs;
-  find_cycle g adj n
+  let off, adj = build_csr n per_switch in
+  find_cycle_csr g ~off ~adj n
 
 let check_next_hops g ~switches ~next =
   let n = max_channel g in
-  let adj = Array.make n [] in
-  let seen = Hashtbl.create 1024 in
-  let add_edge c1 c2 =
-    if not (Hashtbl.mem seen (c1, c2)) then begin
-      Hashtbl.replace seen (c1, c2) ();
-      adj.(c1) <- c2 :: adj.(c1)
-    end
+  let per_switch =
+    List.map
+      (fun s ->
+        let se_in, se_out = channel_maps g s in
+        let mp = Array.length se_in - 1 in
+        let se_mask = Array.make (mp + 1) 0 in
+        List.iter
+          (fun dst ->
+            if dst <> s then
+              for in_port = 1 to mp do
+                if se_in.(in_port) >= 0 then
+                  List.iter
+                    (fun p ->
+                      if p > 0 && p <= mp && se_out.(p) >= 0 then
+                        se_mask.(in_port) <- se_mask.(in_port) lor (1 lsl p))
+                    (next ~at:s ~in_port:(Some in_port) ~dst)
+              done)
+          switches;
+        { se_in; se_out; se_mask })
+      switches
   in
-  List.iter
-    (fun s ->
-      let in_channels =
-        List.filter_map
-          (fun (p, l_id, peer, _) ->
-            match channel_index g ~link_id:l_id ~from_switch:peer with
-            | Some c -> Some (p, c)
-            | None -> None)
-          (Graph.neighbors g s)
-      in
+  let off, adj = build_csr n per_switch in
+  find_cycle_csr g ~off ~adj n
+
+module Reference = struct
+  (* The original checker: cons-list adjacency with a (c1, c2)
+     pair-hashtable for deduplication and a recursive coloring DFS.  Kept
+     as the correctness oracle and micro-benchmark baseline; its witness
+     can differ from the CSR path's (adjacency lists hold edges in
+     reversed insertion order), and its recursion depth is bounded by the
+     longest dependency chain. *)
+
+  let find_cycle g adj n =
+    let state = Array.make n 0 in
+    let parent = Array.make n (-1) in
+    let exception Found of int * int in
+    let rec dfs v =
+      state.(v) <- 1;
       List.iter
-        (fun dst ->
-          if dst <> s then
-            List.iter
-              (fun (in_port, c1) ->
-                List.iter
-                  (fun p ->
-                    if p <> 0 then
-                      match Graph.link_at g (s, p) with
-                      | None -> ()
-                      | Some l_out -> (
-                        match channel_index g ~link_id:l_out ~from_switch:s with
+        (fun w ->
+          if state.(w) = 1 then raise (Found (v, w))
+          else if state.(w) = 0 then begin
+            parent.(w) <- v;
+            dfs w
+          end)
+        adj.(v);
+      state.(v) <- 2
+    in
+    try
+      for v = 0 to n - 1 do
+        if state.(v) = 0 && adj.(v) <> [] then dfs v
+      done;
+      Acyclic
+    with Found (v, w) ->
+      let rec collect acc u =
+        if u = w then u :: acc else collect (u :: acc) parent.(u)
+      in
+      let cycle = collect [] v in
+      Cycle (List.map (channel_of_index g) cycle)
+
+  let check_tables g specs =
+    let n = max_channel g in
+    let adj = Array.make (Stdlib.max n 1) [] in
+    let seen = Hashtbl.create 1024 in
+    let add_edge c1 c2 =
+      if not (Hashtbl.mem seen (c1, c2)) then begin
+        Hashtbl.replace seen (c1, c2) ();
+        adj.(c1) <- c2 :: adj.(c1)
+      end
+    in
+    List.iter
+      (fun spec ->
+        let s = Tables.switch spec in
+        Tables.fold spec ~init:() ~f:(fun () ~in_port ~dst:_ entry ->
+            if (not entry.Tables.broadcast) && in_port <> 0 then
+              match Graph.link_at g (s, in_port) with
+              | None -> ()
+              | Some l_in -> (
+                match channel_index g ~link_id:l_in ~from_switch:(
+                  match Graph.link g l_in with
+                  | Some l -> fst (Graph.other_end l s)
+                  | None -> s)
+                with
+                | None -> ()
+                | Some c1 ->
+                  List.iter
+                    (fun p ->
+                      if p <> 0 then
+                        match Graph.link_at g (s, p) with
                         | None -> ()
-                        | Some c2 -> add_edge c1 c2))
-                  (next ~at:s ~in_port:(Some in_port) ~dst))
-              in_channels)
-        switches)
-    switches;
-  find_cycle g adj n
+                        | Some l_out -> (
+                          match channel_index g ~link_id:l_out ~from_switch:s with
+                          | None -> ()
+                          | Some c2 -> add_edge c1 c2))
+                    entry.Tables.ports)))
+      specs;
+    find_cycle g adj n
+end

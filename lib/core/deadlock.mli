@@ -27,9 +27,15 @@ type result =
       (** A witness cycle: each channel depends on the next, and the last
           on the first. *)
 
-val check_tables : Graph.t -> Tables.spec list -> result
+val check_tables :
+  ?pool:Autonet_parallel.Pool.t -> Graph.t -> Tables.spec list -> result
 (** Analyze the dependencies induced by unicast (alternative-port) entries
-    of the given forwarding tables. *)
+    of the given forwarding tables.  Per-spec edge generation touches
+    disjoint source channels, so with [pool] it fans out one task per
+    spec; the merged dependency graph — and the cycle witness — is
+    identical to the serial result for any domain count.  The DFS is
+    iterative, so dependency chains longer than the native stack are
+    fine. *)
 
 val check_next_hops :
   Graph.t ->
@@ -41,3 +47,15 @@ val check_next_hops :
     arrived on [in_port] ([None] for locally injected packets). *)
 
 val pp_result : Format.formatter -> result -> unit
+
+module Reference : sig
+  (** The original list-based checker — a [(c1, c2)] pair-hashtable for
+      deduplication, cons-list adjacency and a recursive DFS — kept as
+      the correctness oracle and micro-benchmark baseline.  Agrees with
+      {!check_tables} on acyclicity; a cycle witness may list the same
+      cycle starting from a different rotation when a channel has several
+      outgoing dependencies.  The recursion is stack-bounded: do not feed
+      it dependency chains beyond ~100k channels. *)
+
+  val check_tables : Graph.t -> Tables.spec list -> result
+end

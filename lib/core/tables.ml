@@ -17,32 +17,71 @@ let pp_entry ppf { broadcast; ports } =
    unboxed key spares a tuple allocation per probe. *)
 let key ~in_port ~addr = (Short_address.to_int addr lsl 4) lor in_port
 
+(* A spec stores the keys below [Array.length dense] in a flat array —
+   the assigned-address block plus the constant low addresses, i.e.
+   everything the synthesis loop writes per destination — and the rest
+   (the four 0xFFFC+ special addresses, or arbitrary addresses fed to
+   [of_entries]) in a small hashtable.  The [discard] record doubles as
+   the dense array's "absent" sentinel by physical equality: [add_entry]
+   never stores an empty-port entry, so no live entry can alias it. *)
 type spec = {
   spec_switch : Graph.switch;
-  entries : (int, entry) Hashtbl.t;
+  dense : entry array;
+  sparse : (int, entry) Hashtbl.t;
+  mutable count : int;
 }
+
+let make_spec ~switch ~dense_size =
+  { spec_switch = switch;
+    dense = Array.make dense_size discard;
+    sparse = Hashtbl.create 16;
+    count = 0 }
+
+(* Covers every key the builder produces for assigned addresses
+   ([number lsl 4 lor q] with q < 16) plus the local-switch and one-hop
+   rows (addresses 0..15, keys < 256). *)
+let dense_size_for assignment =
+  let m = Address_assign.max_number assignment in
+  if m < 1 then 256 else (m + 1) lsl 8
 
 let switch t = t.spec_switch
 
 let lookup t ~in_port ~dst =
-  match Hashtbl.find_opt t.entries (key ~in_port ~addr:dst) with
-  | Some e -> e
-  | None -> discard
+  let k = key ~in_port ~addr:dst in
+  if k < Array.length t.dense then t.dense.(k)
+  else
+    match Hashtbl.find_opt t.sparse k with
+    | Some e -> e
+    | None -> discard
 
-let entry_count t = Hashtbl.length t.entries
+let entry_count t = t.count
 
 let fold t ~init ~f =
   (* Deterministic iteration order for printing and comparison. *)
-  let items =
-    Hashtbl.fold
-      (fun k e acc -> ((k land 0xF, k lsr 4), e) :: acc)
-      t.entries []
-    |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
-  in
+  let items = ref [] in
+  Hashtbl.iter
+    (fun k e -> items := ((k land 0xF, k lsr 4), e) :: !items)
+    t.sparse;
+  for k = Array.length t.dense - 1 downto 0 do
+    let e = t.dense.(k) in
+    if e != discard then items := ((k land 0xF, k lsr 4), e) :: !items
+  done;
+  let items = List.sort (fun (k1, _) (k2, _) -> compare k1 k2) !items in
   List.fold_left
     (fun acc ((p, a), e) ->
       f acc ~in_port:p ~dst:(Short_address.of_int a) e)
     init items
+
+let iter t ~f =
+  let dense = t.dense in
+  for k = 0 to Array.length dense - 1 do
+    let e = dense.(k) in
+    if e != discard then
+      f ~in_port:(k land 0xF) ~dst:(Short_address.of_int (k lsr 4)) e
+  done;
+  Hashtbl.iter
+    (fun k e -> f ~in_port:(k land 0xF) ~dst:(Short_address.of_int (k lsr 4)) e)
+    t.sparse
 
 type route_mode = Minimal_routes | All_legal_routes
 
@@ -56,7 +95,7 @@ let receiving_ports g updown s =
         | Some _ -> Some p
         | None -> (
           match Graph.link_at g (s, p) with
-          | Some l_id when Updown.usable updown l_id -> Some p
+          | Some l when Updown.usable updown l -> Some p
           | Some _ | None -> None))
       (Graph.used_ports g s)
   in
@@ -67,19 +106,29 @@ let is_host_port g s p = p <> 0 && Graph.host_at g (s, p) <> None
 let host_ports g s =
   List.filter (fun p -> is_host_port g s p) (Graph.used_ports g s)
 
-let add_entry entries ~in_port ~addr e =
-  if e.ports <> [] then Hashtbl.replace entries (key ~in_port ~addr) e
+let add_entry t ~in_port ~addr e =
+  if e.ports <> [] then begin
+    let k = key ~in_port ~addr in
+    if k < Array.length t.dense then begin
+      if t.dense.(k) == discard then t.count <- t.count + 1;
+      t.dense.(k) <- e
+    end
+    else begin
+      if not (Hashtbl.mem t.sparse k) then t.count <- t.count + 1;
+      Hashtbl.replace t.sparse k e
+    end
+  end
 
 (* The constant (0x0000, one-hop, loopback) and broadcast rows, shared by
    the fast and reference builders: they are a few dozen entries and were
    never the hot part. *)
-let constant_and_broadcast_entries g tree s ~entries ~in_ports =
+let constant_and_broadcast_entries g tree s ~spec ~in_ports =
   List.iter
     (fun p ->
       if is_host_port g s p then begin
-        add_entry entries ~in_port:p ~addr:Short_address.local_switch
+        add_entry spec ~in_port:p ~addr:Short_address.local_switch
           { broadcast = false; ports = [ 0 ] };
-        add_entry entries ~in_port:p ~addr:Short_address.loopback
+        add_entry spec ~in_port:p ~addr:Short_address.loopback
           { broadcast = false; ports = [ p ] }
       end)
     in_ports;
@@ -92,9 +141,9 @@ let constant_and_broadcast_entries g tree s ~entries ~in_ports =
              that port is cabled to something that can hear us. *)
           (match Graph.link_at g (s, k) with
           | Some _ ->
-            add_entry entries ~in_port ~addr { broadcast = false; ports = [ k ] }
+            add_entry spec ~in_port ~addr { broadcast = false; ports = [ k ] }
           | None -> ())
-        else add_entry entries ~in_port ~addr { broadcast = false; ports = [ 0 ] })
+        else add_entry spec ~in_port ~addr { broadcast = false; ports = [ 0 ] })
       in_ports
   done;
   (* --- Broadcast flooding over the spanning tree. --- *)
@@ -140,7 +189,7 @@ let constant_and_broadcast_entries g tree s ~entries ~in_ports =
              returns with the down-phase flood): hosts filter by UID, as
              the paper's receiving-host rules require. *)
           let ports = List.sort_uniq Int.compare entry_ports in
-          add_entry entries ~in_port ~addr { broadcast = true; ports })
+          add_entry spec ~in_port ~addr { broadcast = true; ports })
         in_ports)
     [ (Short_address.broadcast_all, `All);
       (Short_address.broadcast_switches, `Switches);
@@ -149,8 +198,7 @@ let constant_and_broadcast_entries g tree s ~entries ~in_ports =
 let build ?(mode = Minimal_routes) g tree updown routes assignment s =
   if not (Spanning_tree.mem tree s) then
     invalid_arg "Tables.build: switch not in the configured component";
-  let entries = Hashtbl.create 256 in
-  let add = add_entry entries in
+  let spec = make_spec ~switch:s ~dense_size:(dense_size_for assignment) in
   let in_ports = receiving_ports g updown s in
   let next_hops =
     match mode with
@@ -166,10 +214,9 @@ let build ?(mode = Minimal_routes) g tree updown routes assignment s =
      is not in use the packet is discarded").
 
      The route out of [s] depends only on the arrival phase and the
-     destination switch, so the phase of every in-port and the two
-     next-hop entries per destination are computed once here rather than
-     once per (in-port, destination-port) pair as the reference
-     implementation does. *)
+     destination switch, so the (at most two) next-hop entries per
+     destination are shared across the whole 16-address block, and each
+     (in-port, address) pair costs one store into the dense array. *)
   let phase_of =
     let a = Array.make (Graph.max_ports g + 1) Routes.Up in
     List.iter
@@ -177,6 +224,10 @@ let build ?(mode = Minimal_routes) g tree updown routes assignment s =
       in_ports;
     a
   in
+  let ip = Array.of_list in_ports in
+  let nip = Array.length ip in
+  let entry_of_in = Array.make nip discard in
+  let dense = spec.dense in
   List.iter
     (fun d ->
       if s = d then begin
@@ -185,7 +236,9 @@ let build ?(mode = Minimal_routes) g tree updown routes assignment s =
           if q = 0 || List.mem q hosts_of_d then begin
             let addr = Address_assign.address assignment d q in
             let e = { broadcast = false; ports = [ q ] } in
-            List.iter (fun in_port -> add ~in_port ~addr e) in_ports
+            for i = 0 to nip - 1 do
+              add_entry spec ~in_port:ip.(i) ~addr e
+            done
           end
         done
       end
@@ -196,34 +249,60 @@ let build ?(mode = Minimal_routes) g tree updown routes assignment s =
           { broadcast = false; ports }
         in
         let e_up = entry_for Routes.Up and e_down = entry_for Routes.Down in
-        for q = 0 to Graph.max_ports g do
-          let addr = Address_assign.address assignment d q in
-          List.iter
-            (fun in_port ->
-              let e =
-                match phase_of.(in_port) with
-                | Routes.Up -> e_up
-                | Routes.Down -> e_down
-              in
-              add ~in_port ~addr e)
-            in_ports
-        done
+        if e_up.ports <> [] || e_down.ports <> [] then begin
+          for i = 0 to nip - 1 do
+            entry_of_in.(i) <-
+              (match phase_of.(ip.(i)) with
+              | Routes.Up -> e_up
+              | Routes.Down -> e_down)
+          done;
+          (* [address d 0] = number lsl 4; the whole block lives below
+             [dense_size_for assignment] by construction. *)
+          let base =
+            Short_address.to_int (Address_assign.address assignment d 0)
+          in
+          for q = 0 to Graph.max_ports g do
+            let k_addr = (base lor q) lsl 4 in
+            for i = 0 to nip - 1 do
+              let e = entry_of_in.(i) in
+              if e.ports <> [] then begin
+                let k = k_addr lor ip.(i) in
+                if dense.(k) == discard then spec.count <- spec.count + 1;
+                dense.(k) <- e
+              end
+            done
+          done
+        end
       end)
     (Spanning_tree.members tree);
-  constant_and_broadcast_entries g tree s ~entries ~in_ports;
-  { spec_switch = s; entries }
+  constant_and_broadcast_entries g tree s ~spec ~in_ports;
+  spec
 
 let of_entries ~switch entries_list =
-  let entries = Hashtbl.create 64 in
+  let spec =
+    { spec_switch = switch;
+      dense = [||];
+      sparse = Hashtbl.create (Stdlib.max 8 (2 * List.length entries_list));
+      count = 0 }
+  in
   List.iter
-    (fun ((p, a), e) -> add_entry entries ~in_port:p ~addr:a e)
+    (fun ((p, a), e) -> add_entry spec ~in_port:p ~addr:a e)
     entries_list;
-  { spec_switch = switch; entries }
+  spec
 
-let build_all ?mode g tree updown routes assignment =
-  List.map
-    (fun s -> build ?mode g tree updown routes assignment s)
-    (Spanning_tree.members tree)
+let build_all ?mode ?pool g tree updown routes assignment =
+  let members = Spanning_tree.members tree in
+  match pool with
+  | Some pool when Autonet_parallel.Pool.domains pool > 1 ->
+    (* Force the graph's lazily-built adjacency cache (and keep it forced)
+       before fanning out: workers must only read the graph. *)
+    (match members with m :: _ -> ignore (Graph.degree g m) | [] -> ());
+    Array.to_list
+      (Autonet_parallel.Pool.parallel_map_array pool
+         (fun s -> build ?mode g tree updown routes assignment s)
+         (Array.of_list members))
+  | Some _ | None ->
+    List.map (fun s -> build ?mode g tree updown routes assignment s) members
 
 module Reference = struct
   (* The original builder, kept as the correctness oracle and benchmark
@@ -234,8 +313,8 @@ module Reference = struct
   let build ?(mode = Minimal_routes) g tree updown routes assignment s =
     if not (Spanning_tree.mem tree s) then
       invalid_arg "Tables.build: switch not in the configured component";
-    let entries = Hashtbl.create 256 in
-    let add = add_entry entries in
+    let spec = make_spec ~switch:s ~dense_size:(dense_size_for assignment) in
+    let add = add_entry spec in
     let in_ports = receiving_ports g updown s in
     let next_hops =
       match mode with
@@ -264,8 +343,8 @@ module Reference = struct
             in_ports
         done)
       (Spanning_tree.members tree);
-    constant_and_broadcast_entries g tree s ~entries ~in_ports;
-    { spec_switch = s; entries }
+    constant_and_broadcast_entries g tree s ~spec ~in_ports;
+    spec
 
   let build_all ?mode g tree updown routes assignment =
     List.map

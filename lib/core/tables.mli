@@ -39,6 +39,11 @@ val entry_count : spec -> int
 
 val fold : spec -> init:'a -> f:('a -> in_port:Graph.port -> dst:Short_address.t -> entry -> 'a) -> 'a
 
+val iter : spec -> f:(in_port:Graph.port -> dst:Short_address.t -> entry -> unit) -> unit
+(** Like {!fold} but in unspecified order and without building or sorting
+    an intermediate list — the iteration the deadlock checker's edge
+    generation runs on every entry of every spec. *)
+
 type route_mode =
   | Minimal_routes  (** only minimal-length legal routes (paper's choice) *)
   | All_legal_routes (** every legal continuation; ablation A1 *)
@@ -64,9 +69,13 @@ val of_entries :
 
 val build_all :
   ?mode:route_mode ->
+  ?pool:Autonet_parallel.Pool.t ->
   Graph.t -> Spanning_tree.t -> Updown.t -> Routes.t -> Address_assign.t ->
   spec list
-(** Tables for every member switch, ascending by switch index. *)
+(** Tables for every member switch, ascending by switch index.  With
+    [pool], one build task per member switch fans out across the pool's
+    domains; the specs come back in switch order and are bit-identical to
+    the serial result (a one-domain pool {e is} the serial path). *)
 
 module Reference : sig
   (** The original per-entry builder driven by the list-based

@@ -1,0 +1,187 @@
+(* A fixed-size pool of OCaml 5 domains with a start/finish barrier.
+
+   The pool exists to parallelize the configuration pipeline's pure,
+   per-switch computations (forwarding-table synthesis, channel-dependency
+   edge generation).  Workers are spawned once at [create] and parked on a
+   condition variable between jobs, so a [run] costs two lock round-trips
+   per worker rather than a domain spawn (~30 us vs ~1 ms).
+
+   Determinism: the scheduling of chunks across domains is dynamic, but
+   every combinator writes results into caller-indexed slots, so outputs
+   are bit-identical to the serial path regardless of the domain count or
+   interleaving.  A pool of one domain degenerates to plain loops on the
+   calling domain with no locking at all. *)
+
+type t = {
+  n_domains : int;
+  mutex : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable job : (int -> unit) option; (* the body workers run this round *)
+  mutable round : int;                (* bumped once per [run] *)
+  mutable pending : int;              (* workers still inside the round *)
+  mutable failure : exn option;       (* first worker exception, if any *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let domains t = t.n_domains
+
+(* Worker [i] (1 <= i < n_domains): wait for a new round, run the job with
+   our worker index, report completion, repeat until [shutdown]. *)
+let worker t i =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while (not t.stopped) && t.round = !seen do
+      Condition.wait t.start t.mutex
+    done;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      seen := t.round;
+      let job = match t.job with Some f -> f | None -> fun _ -> () in
+      Mutex.unlock t.mutex;
+      let result = match job i with () -> None | exception e -> Some e in
+      Mutex.lock t.mutex;
+      (match result with
+      | Some e when t.failure = None -> t.failure <- Some e
+      | Some _ | None -> ());
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let max_domains = 64
+
+let env_domains () =
+  match Sys.getenv_opt "AUTONET_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> Some (Stdlib.min d max_domains)
+    | Some _ | None -> None)
+
+let shutdown t =
+  if t.n_domains > 1 then begin
+    Mutex.lock t.mutex;
+    if t.stopped then Mutex.unlock t.mutex
+    else begin
+      t.stopped <- true;
+      Condition.broadcast t.start;
+      Mutex.unlock t.mutex;
+      List.iter Domain.join t.workers;
+      t.workers <- []
+    end
+  end
+
+let create ?domains () =
+  let d =
+    match domains with
+    | Some d -> d
+    | None -> (
+      match env_domains () with
+      | Some d -> d
+      | None -> Domain.recommended_domain_count ())
+  in
+  let d = Stdlib.max 1 (Stdlib.min d max_domains) in
+  let t =
+    { n_domains = d;
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      round = 0;
+      pending = 0;
+      failure = None;
+      stopped = false;
+      workers = [] }
+  in
+  if d > 1 then begin
+    t.workers <-
+      List.init (d - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+    (* Parked workers must not keep the process alive past the main
+       domain's exit. *)
+    at_exit (fun () -> shutdown t)
+  end;
+  t
+
+let run t f =
+  if t.n_domains = 1 then f 0
+  else begin
+    Mutex.lock t.mutex;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool has been shut down"
+    end;
+    t.job <- Some f;
+    t.failure <- None;
+    t.pending <- t.n_domains - 1;
+    t.round <- t.round + 1;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    (* The calling domain is worker 0. *)
+    let mine = match f 0 with () -> None | exception e -> Some e in
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    t.job <- None;
+    let fail = match mine with Some _ -> mine | None -> t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match fail with Some e -> raise e | None -> ()
+  end
+
+let parallel_for ?chunk t ~n f =
+  if n > 0 then begin
+    if t.n_domains = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let chunk =
+        match chunk with
+        | Some c -> Stdlib.max 1 c
+        | None -> Stdlib.max 1 (n / (4 * t.n_domains))
+      in
+      let next = Atomic.make 0 in
+      run t (fun _ ->
+          let continue = ref true in
+          while !continue do
+            let lo = Atomic.fetch_and_add next chunk in
+            if lo >= n then continue := false
+            else
+              for i = lo to Stdlib.min n (lo + chunk) - 1 do
+                f i
+              done
+          done)
+    end
+  end
+
+let parallel_map_array t f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else if t.n_domains = 1 || n = 1 then Array.map f a
+  else begin
+    let out = Array.make n None in
+    parallel_for t ~n (fun i -> out.(i) <- Some (f a.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+(* The process-wide pool the pipeline entry points share, sized by
+   AUTONET_DOMAINS (or the machine).  Created on first use so that
+   programs that never touch the parallel path spawn no domains. *)
+let default_pool : t option ref = ref None
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+    let p = create () in
+    default_pool := Some p;
+    p

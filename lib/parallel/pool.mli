@@ -1,0 +1,48 @@
+(** A fixed-size OCaml 5 domain pool for the configuration pipeline.
+
+    Workers are spawned once at {!create} and parked between jobs; the
+    combinators split index ranges across them and write results into
+    caller-indexed slots, so every result is {e bit-identical} to the
+    serial computation regardless of domain count or scheduling.  A pool
+    of one domain runs everything on the calling domain with no locking —
+    the serial degenerate case the simulator's determinism relies on.
+
+    Work closures must only read shared data (or write disjoint,
+    caller-indexed slots): the pool adds no synchronization around the
+    user's data.  Lazily-built caches (e.g. {!Graph.iter_neighbors}'s
+    adjacency snapshot) must be forced before fanning out. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ?domains ()] spawns [domains - 1] worker domains (the calling
+    domain is the pool's worker 0).  When [domains] is omitted it comes
+    from the [AUTONET_DOMAINS] environment variable, falling back to
+    [Domain.recommended_domain_count ()].  The count is clamped to
+    [1 .. 64]. *)
+
+val domains : t -> int
+(** Total domain count, including the calling domain. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f i] on every domain [i] of the pool (0 on the
+    caller) and waits for all of them.  If any invocation raises, one of
+    the exceptions is re-raised in the caller after the barrier (the
+    caller's own exception wins when both fail). *)
+
+val parallel_for : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
+(** [parallel_for t ~n f] runs [f i] for [0 <= i < n], dynamically
+    handing out chunks of [chunk] consecutive indices (default [n / (4 *
+    domains)]) to idle domains.  Iterations must be independent. *)
+
+val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map_array t f a] is [Array.map f a] computed across the
+    pool, results in input order. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; the pool cannot be
+    used afterwards.  Pools also shut themselves down at process exit. *)
+
+val default : unit -> t
+(** The process-wide shared pool, created on first use with [create ()]
+    (honouring [AUTONET_DOMAINS]). *)

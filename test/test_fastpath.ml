@@ -99,6 +99,105 @@ let test_crosscheck () =
     check_topology seed
   done
 
+(* --- Domain-pool parallel path. --- *)
+
+let n_parallel_topologies = 50
+
+(* [Tables.build_all ~pool] and [Deadlock.check_tables ~pool] promise
+   bit-identical results to the serial path for any domain count; check
+   on randomized topologies with pools of 1, 2 and 4 domains (1 is the
+   degenerate serial case, 4 oversubscribes a small machine). *)
+let test_parallel_crosscheck () =
+  let pools =
+    List.map (fun d -> Autonet_parallel.Pool.create ~domains:d ()) [ 1; 2; 4 ]
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Autonet_parallel.Pool.shutdown pools)
+    (fun () ->
+      for seed = 1 to n_parallel_topologies do
+        let rng = Rng.create ~seed:(Int64.of_int (1000 + seed)) in
+        let topo = Testlib.random_topology rng ~max_n:11 in
+        let g = topo.Autonet_topo.Builders.graph in
+        let fail fmt = Alcotest.failf ("parallel seed %d: " ^^ fmt) seed in
+        let tree = Spanning_tree.compute g ~member:0 in
+        let updown = Updown.orient g tree in
+        let routes = Routes.compute g tree updown in
+        let assignment =
+          Address_assign.make g
+            (List.map (fun s -> (s, 1)) (Spanning_tree.members tree))
+        in
+        let specs_serial = Tables.build_all g tree updown routes assignment in
+        let deadlock_serial = Deadlock.check_tables g specs_serial in
+        if
+          Deadlock.Reference.check_tables g specs_serial
+          <> deadlock_serial
+        then fail "CSR checker disagrees with the reference checker";
+        List.iter
+          (fun pool ->
+            let d = Autonet_parallel.Pool.domains pool in
+            let specs_p =
+              Tables.build_all ~pool g tree updown routes assignment
+            in
+            if List.length specs_p <> List.length specs_serial then
+              fail "spec counts differ with %d domains" d;
+            List.iter2
+              (fun a b ->
+                if spec_to_list a <> spec_to_list b then
+                  fail "table spec for s%d differs with %d domains"
+                    (Tables.switch a) d)
+              specs_p specs_serial;
+            if Deadlock.check_tables ~pool g specs_p <> deadlock_serial then
+              fail "deadlock result differs with %d domains" d)
+          pools
+      done)
+
+(* A clockwise ring dependency: switch i forwards traffic arriving from
+   switch i-1 on to switch i+1, so the channel dependency graph is one
+   directed cycle through all n clockwise channels. *)
+let ring_specs n =
+  let g = Graph.create ~max_ports:4 () in
+  for i = 0 to n - 1 do
+    ignore (Graph.add_switch g ~uid:(Autonet_net.Uid.of_int (i + 1)))
+  done;
+  for i = 0 to n - 1 do
+    ignore (Graph.connect g (i, 2) ((i + 1) mod n, 1))
+  done;
+  let dst = Autonet_net.Short_address.of_int 0x100 in
+  let specs =
+    List.init n (fun i ->
+        Tables.of_entries ~switch:i
+          [ ((1, dst), { Tables.broadcast = false; ports = [ 2 ] }) ])
+  in
+  (g, specs)
+
+let test_deadlock_deep_chain () =
+  (* The old recursive DFS needed stack depth n here and overflowed the
+     native stack somewhere past ~100k channels; the iterative DFS must
+     return the full n-channel witness. *)
+  let n = 150_000 in
+  let g, specs = ring_specs n in
+  match Deadlock.check_tables g specs with
+  | Deadlock.Acyclic -> Alcotest.fail "expected the ring dependency cycle"
+  | Deadlock.Cycle cs ->
+    Alcotest.(check int) "cycle covers every channel" n (List.length cs);
+    List.iteri
+      (fun i (c : Deadlock.channel) ->
+        if c.link <> i || c.from_switch <> i || c.to_switch <> (i + 1) mod n
+        then
+          Alcotest.failf "witness channel %d is %a" i Deadlock.pp_channel c)
+      cs
+
+let test_deadlock_witness_matches_reference () =
+  (* On a chain shallow enough for the old recursive checker, the
+     iterative DFS must report the identical witness (every channel here
+     has exactly one dependency, so adjacency order cannot differ). *)
+  let g, specs = ring_specs 64 in
+  let a = Deadlock.check_tables g specs in
+  let b = Deadlock.Reference.check_tables g specs in
+  if a <> b then
+    Alcotest.failf "witnesses differ: %a vs %a" Deadlock.pp_result a
+      Deadlock.pp_result b
+
 let test_iter_neighbors_matches_list () =
   (* The packed iterator yields exactly the neighbors list, including
      after mutations that must invalidate the cache. *)
@@ -135,6 +234,18 @@ let () =
             (Printf.sprintf "fast path equals reference on %d random topologies"
                n_topologies)
             `Quick test_crosscheck ] );
+      ( "parallel",
+        [ Alcotest.test_case
+            (Printf.sprintf
+               "pool path equals serial on %d random topologies x {1,2,4} \
+                domains"
+               n_parallel_topologies)
+            `Quick test_parallel_crosscheck ] );
+      ( "deadlock",
+        [ Alcotest.test_case "iterative DFS survives a 150k-channel cycle"
+            `Quick test_deadlock_deep_chain;
+          Alcotest.test_case "cycle witness matches the reference checker"
+            `Quick test_deadlock_witness_matches_reference ] );
       ( "graph",
         [ Alcotest.test_case "iter_neighbors matches the list API" `Quick
             test_iter_neighbors_matches_list ] ) ]
