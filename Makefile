@@ -1,4 +1,4 @@
-.PHONY: all test bench bench-smoke bench-json clean
+.PHONY: all test bench bench-smoke bench-json chaos-smoke clean
 
 all:
 	dune build @all
@@ -14,6 +14,11 @@ bench:
 # CI guard that keeps the bench executable compiling and running.
 bench-smoke:
 	dune build @all @bench-smoke
+
+# Randomized fault campaign with network-wide invariant checking, run at
+# 1, 2 and 4 domains; the verdict streams must compare equal.
+chaos-smoke:
+	dune build @chaos-smoke
 
 # Regenerate the committed kernel perf trajectory.
 bench-json:

@@ -1,0 +1,47 @@
+(* E16: the chaos campaign as a workload.  Runs the same fixed-seed fault
+   campaign on the serial pool and on the default domain pool, checks the
+   verdict streams are identical (the determinism the seed-replay
+   reproducers rely on), and reports campaign throughput. *)
+
+module C = Autonet_chaos.Chaos
+module Pool = Autonet_parallel.Pool
+module Report = Autonet_analysis.Report
+
+let schedules = 40
+
+let campaign pool =
+  let config = { C.default_config with topo = "torus:3,3" } in
+  C.run_campaign ~pool config ~seed:42L ~schedules
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let e16 () =
+  let r =
+    Report.create
+      ~title:
+        (Printf.sprintf "E16: chaos campaign throughput (torus:3,3, %d schedules)"
+           schedules)
+      ~columns:[ "pool"; "domains"; "time (s)"; "schedules/s"; "failures" ]
+  in
+  let serial_pool = Pool.create ~domains:1 () in
+  let serial, st = time (fun () -> campaign serial_pool) in
+  Pool.shutdown serial_pool;
+  let failures vs =
+    Array.fold_left (fun n v -> if C.passed v then n else n + 1) 0 vs
+  in
+  Report.add_row r
+    [ "serial"; "1"; Report.cell_float ~decimals:2 st;
+      Report.cell_float ~decimals:1 (float_of_int schedules /. st);
+      string_of_int (failures serial) ];
+  let pool = Pool.default () in
+  let par, pt = time (fun () -> campaign pool) in
+  Report.add_row r
+    [ "default"; string_of_int (Pool.domains pool);
+      Report.cell_float ~decimals:2 pt;
+      Report.cell_float ~decimals:1 (float_of_int schedules /. pt);
+      string_of_int (failures par) ];
+  Report.print r;
+  Printf.printf "verdicts identical across pools: %b\n%!" (serial = par)

@@ -17,6 +17,7 @@ module Messages = Autonet_autopilot.Messages
 module Fabric = Autonet_autopilot.Fabric
 module Params = Autonet_autopilot.Params
 module Time = Autonet_sim.Time
+module Chaos = Autonet_chaos.Chaos
 open Cmdliner
 
 let build_topo spec seed hosts =
@@ -160,6 +161,64 @@ let cmd_srp spec seed hosts params_name route =
       (Option.value ~default:(-1) (AP.switch_number ap))
   end
 
+(* --- Chaos campaigns --- *)
+
+let cmd_chaos topos schedules seed hosts params_name actions horizon_ms replay =
+  let params =
+    match Params.preset params_name with
+    | Some p -> p
+    | None -> invalid_arg (params_name ^ ": expected naive | tuned | fast")
+  in
+  let topos = if topos = [] then [ "src" ] else topos in
+  let config topo =
+    { Chaos.topo;
+      params;
+      hosts;
+      actions;
+      horizon = Time.ms horizon_ms;
+      timeout = Time.s 120 }
+  in
+  let seed64 = Int64.of_int seed in
+  match replay with
+  | Some index ->
+    (* Replay one schedule of the campaign (under the first --topo) and
+       print the full reproducer artifact, pass or fail. *)
+    let topo = List.hd topos in
+    let art = Chaos.investigate (config topo) ~seed:seed64 ~index in
+    Format.printf "%a@." Chaos.pp_artifact art;
+    if art.Chaos.a_violations <> [] then exit 1
+  | None ->
+    let failures = ref [] in
+    List.iter
+      (fun topo ->
+        Format.printf "== chaos topo=%s params=%s seed=%d schedules=%d actions=%d ==@."
+          topo params_name seed schedules actions;
+        let verdicts = Chaos.run_campaign (config topo) ~seed:seed64 ~schedules in
+        Array.iter (fun v -> Format.printf "%a@." Chaos.pp_verdict v) verdicts;
+        let ok =
+          Array.fold_left
+            (fun n v -> if Chaos.passed v then n + 1 else n)
+            0 verdicts
+        in
+        Format.printf "== %d/%d passed ==@." ok (Array.length verdicts);
+        Array.iter
+          (fun v -> if not (Chaos.passed v) then failures := (topo, v) :: !failures)
+          verdicts)
+      topos;
+    (match List.rev !failures with
+    | [] -> ()
+    | (topo, v) :: _ ->
+      (* The artifact goes to stderr so stdout stays byte-comparable
+         across domain counts even on a failing campaign. *)
+      Format.eprintf
+        "chaos: %d failing schedule(s); investigating the first (topo=%s index=%d)@."
+        (List.length !failures) topo v.Chaos.index;
+      let art = Chaos.investigate (config topo) ~seed:seed64 ~index:v.Chaos.index in
+      Format.eprintf "%a@." Chaos.pp_artifact art;
+      Format.eprintf "replay: autonet-sim chaos --topo %s --seed %d --replay %d@."
+        topo seed v.Chaos.index;
+      exit 1)
+
 (* --- Cmdliner --- *)
 
 let topo_arg =
@@ -218,4 +277,43 @@ let () =
                 $ Arg.(
                     value & opt string ""
                     & info [ "route" ] ~docv:"P1,P2,..."
-                        ~doc:"Outbound port at each hop, from switch 0.")) ]))
+                        ~doc:"Outbound port at each hop, from switch 0."));
+            Cmd.v
+              (Cmd.info "chaos"
+                 ~doc:
+                   "Run a randomized fault campaign: seeded schedules of \
+                    link flaps, crashes, reboots and partitions, each \
+                    checked against the network-wide invariant oracle.")
+              Term.(
+                const cmd_chaos
+                $ Arg.(
+                    value & opt_all string []
+                    & info [ "topo"; "t" ] ~docv:"SPEC"
+                        ~doc:
+                          "Topology (repeatable): src | line:N | ring:N | \
+                           torus:R,C | random:N,E.  Default src.")
+                $ Arg.(
+                    value & opt int 50
+                    & info [ "schedules" ] ~doc:"Schedules per topology.")
+                $ seed_arg
+                $ Arg.(
+                    value & opt int 0
+                    & info [ "hosts" ] ~doc:"Host ports per switch.")
+                $ Arg.(
+                    value & opt string "fast"
+                    & info [ "params"; "p" ]
+                        ~doc:"Autopilot preset: naive | tuned | fast.")
+                $ Arg.(
+                    value & opt int 12
+                    & info [ "actions" ] ~doc:"Fault actions per schedule.")
+                $ Arg.(
+                    value & opt int 2000
+                    & info [ "horizon-ms" ]
+                        ~doc:"Faults land in [0, HORIZON) milliseconds.")
+                $ Arg.(
+                    value & opt (some int) None
+                    & info [ "replay" ] ~docv:"INDEX"
+                        ~doc:
+                          "Replay one schedule of the campaign (first \
+                           --topo), shrink any failure and print the \
+                           reproducer artifact.")) ]))

@@ -96,3 +96,13 @@ val verify_against_reference : t -> bool
 
 val live_graph : t -> Graph.t
 (** The physical graph minus failed links and powered-off switches. *)
+
+val live_components : t -> Graph.switch list list
+(** Connected components of the live graph restricted to powered switches;
+    each component ascends, components ordered by smallest member. *)
+
+val loaded_spec : t -> Graph.switch -> Tables.spec
+(** The forwarding table currently loaded in the switch hardware,
+    re-expressed as a table spec — what {!Deadlock.check_tables} and
+    {!Verify} can analyze.  Reflects the real dataplane state, including
+    host ports enabled after the last reconfiguration. *)

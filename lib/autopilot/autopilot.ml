@@ -17,6 +17,8 @@ type t = {
   mutable reconfig : Reconfig.t option;
   mutable is_powered : bool;
   mutable loading_until : Time.t;
+  mutable reload_seq : int;
+      (* current table reload; stale finish closures must not fire *)
   mutable retransmit_timer : Engine.handle option;
   mutable on_configured : (t -> unit) option;
   mutable host_enabled : bool array;
@@ -56,6 +58,7 @@ let epoch t = Reconfig.epoch (reconfig_exn t)
 let configured t = t.is_powered && Reconfig.configured (reconfig_exn t)
 let position t = Reconfig.position (reconfig_exn t)
 let port_state t ~port = Port_monitor.state (monitor_exn t) ~port
+let skeptic_holds t = Port_monitor.skeptic_holds (monitor_exn t)
 let switch_number t = Reconfig.switch_number (reconfig_exn t)
 let assignment t = Reconfig.assignment (reconfig_exn t)
 let complete_report t = Reconfig.complete_report (reconfig_exn t)
@@ -101,6 +104,14 @@ let enable_host_port t q =
           (Forwarding_table.rows_of t.table ~in_port:0);
       (* Local specials for a host port. *)
       Forwarding_table.set t.table ~in_port:q ~dst:Short_address.local_switch
+        { vector = Port_vector.singleton 0; broadcast = false };
+      (* The control processor's own assigned address: in_port 0 carries no
+         row for it (the CP never table-routes to itself), so copying row 0
+         above leaves host-to-local-CP traffic blackholed.  A host does not
+         know its destination shares its switch, so the assigned address
+         must work too.  (Found by the chaos campaign.) *)
+      Forwarding_table.set t.table ~in_port:q
+        ~dst:(Short_address.assigned ~switch_number:number ~port:0)
         { vector = Port_vector.singleton 0; broadcast = false };
       Forwarding_table.set t.table ~in_port:q ~dst:Short_address.loopback
         { vector = Port_vector.singleton q; broadcast = false };
@@ -196,11 +207,20 @@ let force_port_dead t ~port = Port_monitor.force_dead (monitor_exn t) ~port
    full computation + load time. *)
 let begin_reload t ~finish =
   Forwarding_table.clear t.table;
+  (* A reload can be overtaken: a new epoch starts (its own reload clears
+     the table again) or the switch power-cycles before the load completes.
+     The overtaken finish must not fire — a stale one would install the
+     previous epoch's table and mark the switch configured while the
+     current epoch is still in progress, so a convergence check sampled in
+     the next reload window would see configured switches with empty
+     tables.  (Found by the chaos campaign; see test_chaos.) *)
+  t.reload_seq <- t.reload_seq + 1;
+  let seq = t.reload_seq in
   let p = params t in
   t.loading_until <- Time.add (now t) p.Params.reset_time;
   ignore
     (Engine.schedule (Fabric.engine t.fabric) ~delay:p.Params.table_load_time
-       (fun () -> if t.is_powered then finish ()))
+       (fun () -> if t.is_powered && t.reload_seq = seq then finish ()))
 
 let make_callbacks t =
   { Reconfig.cb_send = (fun ~port msg -> send t ~port msg);
@@ -305,6 +325,9 @@ and power_off t =
     (match t.retransmit_timer with Some h -> Engine.cancel h | None -> ());
     t.retransmit_timer <- None;
     Reconfig.stop (reconfig_exn t);
+    (* Invalidate any in-flight reload: its finish must not fire into the
+       state of a later reboot. *)
+    t.reload_seq <- t.reload_seq + 1;
     Forwarding_table.clear t.table;
     Fabric.power_off_switch t.fabric t.sw
   end
@@ -454,6 +477,7 @@ let create ~fabric ~switch ?(clock_skew = Time.zero) () =
       reconfig = None;
       is_powered = false;
       loading_until = Time.zero;
+      reload_seq = 0;
       retransmit_timer = None;
       on_configured = None;
       host_enabled = Array.make (Graph.max_ports g + 1) false;

@@ -42,6 +42,11 @@ val configured : t -> bool
 
 val position : t -> Spanning_tree.Position.t
 val port_state : t -> port:int -> Port_state.t
+
+val skeptic_holds : t -> (int * Autonet_sim.Time.t * Autonet_sim.Time.t) list
+(** Per external port, the current (status, connectivity) skeptic
+    hold-downs; see {!Port_monitor.skeptic_holds}. *)
+
 val forwarding_table : t -> Autonet_switch.Forwarding_table.t
 val switch_number : t -> int option
 val assignment : t -> Address_assign.t option

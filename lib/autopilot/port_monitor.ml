@@ -83,6 +83,15 @@ let neighbor t ~port =
   | Port_state.Switch_good -> t.ports.(port).neighbor
   | _ -> None
 
+let skeptic_holds t =
+  List.init
+    (Array.length t.ports - 1)
+    (fun i ->
+      let info = t.ports.(i + 1) in
+      ( i + 1,
+        Skeptic.required_hold info.status_skeptic,
+        Skeptic.required_hold info.conn_skeptic ))
+
 let good_ports t =
   let acc = ref [] in
   for p = Array.length t.ports - 1 downto 1 do

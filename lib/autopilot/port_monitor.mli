@@ -57,6 +57,11 @@ val state : t -> port:int -> Port_state.t
 val neighbor : t -> port:int -> (Uid.t * int) option
 (** The verified neighbour of a [Switch_good] port. *)
 
+val skeptic_holds : t -> (int * Autonet_sim.Time.t * Autonet_sim.Time.t) list
+(** [(port, status hold, connectivity hold)] for every external port: the
+    hold-down each skeptic would currently impose.  Invariant checkers use
+    this to assert the backoff never escapes its configured cap. *)
+
 val good_ports : t -> (int * Uid.t * int) list
 (** [(port, neighbour uid, neighbour port)] for every [Switch_good] port,
     ascending by port. *)

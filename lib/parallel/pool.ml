@@ -23,6 +23,7 @@ type t = {
   mutable failure : exn option;       (* first worker exception, if any *)
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
+  busy : bool Atomic.t;               (* a round is in flight *)
 }
 
 let domains t = t.n_domains
@@ -99,7 +100,8 @@ let create ?domains () =
       pending = 0;
       failure = None;
       stopped = false;
-      workers = [] }
+      workers = [];
+      busy = Atomic.make false }
   in
   if d > 1 then begin
     t.workers <-
@@ -110,32 +112,51 @@ let create ?domains () =
   end;
   t
 
+(* Executing the job for every worker index on the calling domain is
+   semantically equivalent to a real round: the combinators hand out
+   caller-indexed work, so which domain runs a given index never shows in
+   the results.  This is the fallback for nested and concurrent [run]s. *)
+let run_inline t f =
+  for i = 0 to t.n_domains - 1 do
+    f i
+  done
+
 let run t f =
   if t.n_domains = 1 then f 0
-  else begin
-    Mutex.lock t.mutex;
-    if t.stopped then begin
-      Mutex.unlock t.mutex;
-      invalid_arg "Pool.run: pool has been shut down"
-    end;
-    t.job <- Some f;
-    t.failure <- None;
-    t.pending <- t.n_domains - 1;
-    t.round <- t.round + 1;
-    Condition.broadcast t.start;
-    Mutex.unlock t.mutex;
-    (* The calling domain is worker 0. *)
-    let mine = match f 0 with () -> None | exception e -> Some e in
-    Mutex.lock t.mutex;
-    while t.pending > 0 do
-      Condition.wait t.finished t.mutex
-    done;
-    t.job <- None;
-    let fail = match mine with Some _ -> mine | None -> t.failure in
-    t.failure <- None;
-    Mutex.unlock t.mutex;
-    match fail with Some e -> raise e | None -> ()
-  end
+  else if not (Atomic.compare_and_set t.busy false true) then
+    (* Re-entrant or concurrent use: a job body (possibly on a worker
+       domain) started another pool operation — e.g. a simulation running
+       inside a chaos-campaign worker reaches the configuration pipeline's
+       own parallel entry points.  Waking the parked workers again would
+       corrupt the round bookkeeping, so degrade to the serial path, which
+       is bit-identical by construction. *)
+    run_inline t f
+  else
+    Fun.protect
+      ~finally:(fun () -> Atomic.set t.busy false)
+      (fun () ->
+        Mutex.lock t.mutex;
+        if t.stopped then begin
+          Mutex.unlock t.mutex;
+          invalid_arg "Pool.run: pool has been shut down"
+        end;
+        t.job <- Some f;
+        t.failure <- None;
+        t.pending <- t.n_domains - 1;
+        t.round <- t.round + 1;
+        Condition.broadcast t.start;
+        Mutex.unlock t.mutex;
+        (* The calling domain is worker 0. *)
+        let mine = match f 0 with () -> None | exception e -> Some e in
+        Mutex.lock t.mutex;
+        while t.pending > 0 do
+          Condition.wait t.finished t.mutex
+        done;
+        t.job <- None;
+        let fail = match mine with Some _ -> mine | None -> t.failure in
+        t.failure <- None;
+        Mutex.unlock t.mutex;
+        match fail with Some e -> raise e | None -> ())
 
 let parallel_for ?chunk t ~n f =
   if n > 0 then begin

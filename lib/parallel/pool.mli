@@ -28,7 +28,14 @@ val run : t -> (int -> unit) -> unit
 (** [run t f] executes [f i] on every domain [i] of the pool (0 on the
     caller) and waits for all of them.  If any invocation raises, one of
     the exceptions is re-raised in the caller after the barrier (the
-    caller's own exception wins when both fail). *)
+    caller's own exception wins when both fail).
+
+    Nested and concurrent use is safe: a [run] issued while another round
+    is in flight — e.g. from inside a job body, or from a simulation
+    running on a worker domain that reaches the configuration pipeline's
+    parallel entry points — executes all indices inline on the calling
+    domain.  Results are identical either way, since every combinator
+    writes caller-indexed slots. *)
 
 val parallel_for : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
 (** [parallel_for t ~n f] runs [f i] for [0 <= i < n], dynamically

@@ -82,4 +82,6 @@ let run ?until ?max_events t =
 
 let pending t = !(t.live_count)
 
+let queue_length t = Pqueue.length t.queue
+
 let events_executed t = t.executed

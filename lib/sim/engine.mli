@@ -41,4 +41,9 @@ val run : ?until:Time.t -> ?max_events:int -> t -> unit
 val pending : t -> int
 (** Number of live (non-cancelled) events still queued. *)
 
+val queue_length : t -> int
+(** Raw queue size, including cancelled events awaiting their lazy
+    removal at the head.  [queue_length t - pending t] is the cancelled
+    backlog; chaos-campaign diagnostics watch both for handle leaks. *)
+
 val events_executed : t -> int

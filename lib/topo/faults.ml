@@ -1,4 +1,6 @@
 open Autonet_core
+module Time = Autonet_sim.Time
+module Rng = Autonet_sim.Rng
 
 type event =
   | Link_down of Graph.link_id
@@ -12,11 +14,34 @@ let pp_event ppf = function
   | Switch_down s -> Format.fprintf ppf "switch %d down" s
   | Switch_up s -> Format.fprintf ppf "switch %d up" s
 
-type item = { at : Autonet_sim.Time.t; event : event }
+(* Total deterministic order: constructor rank, then payload.  Link events
+   rank before switch events and downs before ups so that, at one instant,
+   a link both failed and repaired ends the instant repaired — the
+   convention [sort] freezes for equal-time items. *)
+let compare_event a b =
+  let rank = function
+    | Link_down _ -> 0
+    | Link_up _ -> 1
+    | Switch_down _ -> 2
+    | Switch_up _ -> 3
+  in
+  let payload = function
+    | Link_down x | Link_up x | Switch_down x | Switch_up x -> x
+  in
+  match Int.compare (rank a) (rank b) with
+  | 0 -> Int.compare (payload a) (payload b)
+  | c -> c
+
+type item = { at : Time.t; event : event }
 
 type schedule = item list
 
-let sort s = List.stable_sort (fun a b -> compare a.at b.at) s
+let compare_item a b =
+  match Time.compare a.at b.at with
+  | 0 -> compare_event a.event b.event
+  | c -> c
+
+let sort s = List.stable_sort compare_item s
 
 let single_link_failure ~link ~at = [ { at; event = Link_down link } ]
 
@@ -27,6 +52,11 @@ let fail_and_repair ~link ~fail_at ~repair_at =
 
 let flapping_link ~link ~start ~period ~cycles =
   if cycles < 1 then invalid_arg "flapping_link: cycles must be >= 1";
+  if period < 2 then
+    (* With period 1 the integer half-period is 0, scheduling Link_down and
+       Link_up at the same instant — a degenerate "flap" that never
+       happens. *)
+    invalid_arg "flapping_link: period must be >= 2";
   let half = period / 2 in
   List.concat
     (List.init cycles (fun i ->
@@ -36,10 +66,180 @@ let flapping_link ~link ~start ~period ~cycles =
 
 let switch_crash ~switch ~at = [ { at; event = Switch_down switch } ]
 
+let switch_reboot ~switch ~down_at ~up_at =
+  if up_at <= down_at then invalid_arg "switch_reboot: up before down";
+  [ { at = down_at; event = Switch_down switch };
+    { at = up_at; event = Switch_up switch } ]
+
+let cut_links g ~side =
+  List.filter_map
+    (fun (l : Graph.link) ->
+      let sa, _ = l.a and sb, _ = l.b in
+      if (not (Graph.is_loop l)) && side sa <> side sb then Some l.id else None)
+    (Graph.links g)
+
+let partition ?heal_at g ~side ~at =
+  (match heal_at with
+  | Some h when h <= at -> invalid_arg "partition: heal before cut"
+  | Some _ | None -> ());
+  List.concat_map
+    (fun l ->
+      { at; event = Link_down l }
+      ::
+      (match heal_at with
+      | Some h -> [ { at = h; event = Link_up l } ]
+      | None -> []))
+    (cut_links g ~side)
+
+(* --- Random schedules ------------------------------------------------- *)
+
+(* State tracked while emitting actions in chronological order, so that
+   the generated sequence is *plausible* (repairs follow failures, at
+   least one switch always stays powered).  The protocol must survive any
+   sequence, so occasional redundancy (failing an already-failed link
+   after a flap, say) is acceptable — but never powering off the whole
+   network matters: an all-dark network has no live component to
+   converge, which would make the campaign oracle vacuous. *)
+type gen_state = {
+  g : Graph.t;
+  rng : Rng.t;
+  horizon : Time.t;
+  link_ids : Graph.link_id array;
+  link_down : (Graph.link_id, unit) Hashtbl.t;
+  switch_down : (Graph.switch, unit) Hashtbl.t;
+  mutable powered : int;
+}
+
+let live_links st =
+  Array.to_list
+    (Array.of_seq
+       (Seq.filter
+          (fun l -> not (Hashtbl.mem st.link_down l))
+          (Array.to_seq st.link_ids)))
+
+let clampt st t = Stdlib.min t st.horizon
+
+let gen_action st ~at =
+  let pick_link ids =
+    match ids with [] -> None | _ -> Some (Rng.pick st.rng ids)
+  in
+  let fail_link () =
+    match pick_link (live_links st) with
+    | None -> []
+    | Some l ->
+      Hashtbl.replace st.link_down l ();
+      [ { at; event = Link_down l } ]
+  in
+  let repair_link () =
+    match pick_link (List.of_seq (Hashtbl.to_seq_keys st.link_down)) with
+    | None -> []
+    | Some l ->
+      Hashtbl.remove st.link_down l;
+      [ { at; event = Link_up l } ]
+  in
+  let crash () =
+    if st.powered <= 1 then []
+    else begin
+      let candidates =
+        List.filter
+          (fun s -> not (Hashtbl.mem st.switch_down s))
+          (Graph.switches st.g)
+      in
+      match candidates with
+      | [] -> []
+      | _ ->
+        let s = Rng.pick st.rng candidates in
+        Hashtbl.replace st.switch_down s ();
+        st.powered <- st.powered - 1;
+        [ { at; event = Switch_down s } ]
+    end
+  in
+  let reboot () =
+    match List.of_seq (Hashtbl.to_seq_keys st.switch_down) with
+    | [] -> []
+    | downed ->
+      let s = Rng.pick st.rng downed in
+      Hashtbl.remove st.switch_down s;
+      st.powered <- st.powered + 1;
+      [ { at; event = Switch_up s } ]
+  in
+  let flap () =
+    match pick_link (live_links st) with
+    | None -> []
+    | Some l ->
+      (* Down now, back up a short random interval later: the link ends
+         the flap live, which is what makes flaps distinct from plain
+         failures for the skeptics. *)
+      let delta = 1 + Rng.int st.rng (Stdlib.max 1 (st.horizon / 16)) in
+      let up_at = clampt st (Time.add at delta) in
+      if up_at <= at then [ { at; event = Link_down l }; { at = at + 1; event = Link_up l } ]
+      else [ { at; event = Link_down l }; { at = up_at; event = Link_up l } ]
+  in
+  let partition_now () =
+    (* A random proper subset of switches on one side of the cut; healed
+       later with probability 1/2. *)
+    let n = Graph.switch_count st.g in
+    if n < 2 then []
+    else begin
+      let side_bits = Array.init n (fun _ -> Rng.bool st.rng) in
+      let any v = Array.exists (fun b -> b = v) side_bits in
+      if not (any true && any false) then []
+      else begin
+        let cut = cut_links st.g ~side:(fun s -> side_bits.(s)) in
+        List.iter (fun l -> Hashtbl.replace st.link_down l ()) cut;
+        let downs = List.map (fun l -> { at; event = Link_down l }) cut in
+        if Rng.bool st.rng then begin
+          let delta = 1 + Rng.int st.rng (Stdlib.max 1 (st.horizon / 8)) in
+          let heal_at = clampt st (Time.add at (Stdlib.max 1 delta)) in
+          if heal_at > at then begin
+            List.iter (fun l -> Hashtbl.remove st.link_down l) cut;
+            downs @ List.map (fun l -> { at = heal_at; event = Link_up l }) cut
+          end
+          else downs
+        end
+        else downs
+      end
+    end
+  in
+  (* Weighted pick; actions that turn out impossible fall back to a link
+     failure, and if even that is impossible the slot is skipped. *)
+  let attempt =
+    match Rng.int st.rng 100 with
+    | r when r < 28 -> fail_link ()
+    | r when r < 48 -> repair_link ()
+    | r when r < 62 -> crash ()
+    | r when r < 78 -> reboot ()
+    | r when r < 92 -> flap ()
+    | _ -> partition_now ()
+  in
+  match attempt with [] -> fail_link () | items -> items
+
+let random ~rng ~graph ~horizon ~events =
+  if events < 1 then invalid_arg "Faults.random: events must be >= 1";
+  if horizon < 2 then invalid_arg "Faults.random: horizon must be >= 2";
+  let st =
+    { g = graph;
+      rng;
+      horizon;
+      link_ids =
+        Array.of_list (List.map (fun (l : Graph.link) -> l.id) (Graph.links graph));
+      link_down = Hashtbl.create 16;
+      switch_down = Hashtbl.create 8;
+      powered = Graph.switch_count graph }
+  in
+  (* Action instants drawn uniformly, then visited chronologically so the
+     generator's state tracking matches the simulated order. *)
+  let times = Array.init events (fun _ -> Rng.int rng horizon) in
+  Array.sort compare times;
+  let items =
+    Array.to_list times |> List.concat_map (fun at -> gen_action st ~at)
+  in
+  sort items
+
 let pp ppf s =
   Format.fprintf ppf "@[<v>";
   List.iter
     (fun { at; event } ->
-      Format.fprintf ppf "%a: %a@," Autonet_sim.Time.pp at pp_event event)
+      Format.fprintf ppf "%a: %a@," Time.pp at pp_event event)
     (sort s);
   Format.fprintf ppf "@]"

@@ -3,7 +3,9 @@
     A schedule is pure data: a time-ordered list of component failures and
     repairs.  The [autonet] umbrella library applies schedules to a running
     simulation; keeping them as data makes experiments reproducible and
-    easy to enumerate in EXPERIMENTS.md. *)
+    easy to enumerate in EXPERIMENTS.md.  The [random] smart constructor is
+    the chaos-campaign generator: seeded, state-aware and deterministic, so
+    a failing campaign reproduces from its topology name and seed alone. *)
 
 open Autonet_core
 
@@ -15,12 +17,17 @@ type event =
 
 val pp_event : Format.formatter -> event -> unit
 
+val compare_event : event -> event -> int
+(** Total deterministic order: constructor rank (link before switch, down
+    before up), then the component id. *)
+
 type item = { at : Autonet_sim.Time.t; event : event }
 
 type schedule = item list
 
 val sort : schedule -> schedule
-(** Stable sort by time. *)
+(** Stable sort by time, with {!compare_event} breaking equal-time ties so
+    the applied order never depends on how the schedule was assembled. *)
 
 val single_link_failure : link:Graph.link_id -> at:Autonet_sim.Time.t -> schedule
 
@@ -32,8 +39,33 @@ val flapping_link :
   link:Graph.link_id -> start:Autonet_sim.Time.t -> period:Autonet_sim.Time.t ->
   cycles:int -> schedule
 (** [cycles] down/up pairs: down at [start], up half a period later, and so
-    on. *)
+    on.  [period] must be at least 2 (a period of 1 would schedule the
+    down and the up at the same instant). *)
 
 val switch_crash : switch:Graph.switch -> at:Autonet_sim.Time.t -> schedule
+
+val switch_reboot :
+  switch:Graph.switch -> down_at:Autonet_sim.Time.t -> up_at:Autonet_sim.Time.t ->
+  schedule
+(** Power off at [down_at], back on at [up_at] (which must be later). *)
+
+val partition :
+  ?heal_at:Autonet_sim.Time.t ->
+  Graph.t -> side:(Graph.switch -> bool) -> at:Autonet_sim.Time.t -> schedule
+(** Fail every non-loop link whose endpoints straddle the [side] predicate
+    at [at], splitting the network along the cut; with [heal_at] (which
+    must be after [at]) every cut link is repaired again. *)
+
+val random :
+  rng:Autonet_sim.Rng.t -> graph:Graph.t -> horizon:Autonet_sim.Time.t ->
+  events:int -> schedule
+(** [random ~rng ~graph ~horizon ~events] draws [events] fault actions at
+    uniform instants in [\[0, horizon)] and expands them into a schedule:
+    link failures, repairs of previously failed links, switch crashes and
+    reboots, short link flaps, and partitions (optionally healed) — so
+    composite actions can make the schedule longer than [events] items.
+    The generator tracks component state so repairs follow failures and at
+    least one switch always stays powered (an all-dark network has no live
+    component for the oracle to check).  Deterministic in [rng]'s seed. *)
 
 val pp : Format.formatter -> schedule -> unit

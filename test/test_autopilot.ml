@@ -76,6 +76,57 @@ let test_skeptic_never_below_initial () =
   Skeptic.note_healthy_since s ~promoted_at:Time.zero ~now:(Time.s 100);
   check_int "floor" (Time.ms 100) (Skeptic.required_hold s)
 
+(* Property: relapses spaced closer than [decay_good] earn no health
+   credit, so the hold-down never shrinks between them. *)
+let skeptic_monotone_qcheck =
+  QCheck.Test.make ~name:"hold monotone under rapid relapses" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_bound 999))
+    (fun gaps ->
+      let s = Skeptic.create sk_params in
+      let now = ref Time.zero in
+      List.for_all
+        (fun gap ->
+          let before = Skeptic.required_hold s in
+          now := Time.add !now (Time.ms gap);
+          Skeptic.note_relapse s ~now:!now;
+          Skeptic.required_hold s >= before)
+        gaps)
+
+(* Property: whatever the relapse spacing (including long healthy runs
+   that decay the hold), the hold-down never exceeds the cap and never
+   drops below the initial value. *)
+let skeptic_bounded_qcheck =
+  let cap = Stdlib.max sk_params.Params.initial_hold sk_params.Params.max_hold in
+  QCheck.Test.make ~name:"hold bounded by cap and floor" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 60) (int_bound 30_000))
+    (fun gaps ->
+      let s = Skeptic.create sk_params in
+      let now = ref Time.zero in
+      List.for_all
+        (fun gap ->
+          now := Time.add !now (Time.ms gap);
+          Skeptic.note_relapse s ~now:!now;
+          let h = Skeptic.required_hold s in
+          h <= cap && h >= sk_params.Params.initial_hold)
+        gaps)
+
+(* Property: after the hold has been backed off, exactly one [decay_good]
+   interval of health halves it (down to the initial floor). *)
+let skeptic_halving_qcheck =
+  QCheck.Test.make ~name:"one decay interval halves the hold" ~count:50
+    QCheck.(int_range 1 10)
+    (fun relapses ->
+      let s = Skeptic.create sk_params in
+      for i = 1 to relapses do
+        Skeptic.note_relapse s ~now:(Time.ms i)
+      done;
+      let built = Skeptic.required_hold s in
+      let promoted_at = Time.ms relapses in
+      Skeptic.note_healthy_since s ~promoted_at
+        ~now:(Time.add promoted_at sk_params.Params.decay_good);
+      Skeptic.required_hold s
+      = Stdlib.max (built / 2) sk_params.Params.initial_hold)
+
 (* ------------------------------------------------------------------ *)
 (* Port states *)
 
@@ -269,6 +320,41 @@ let test_event_log_merge_normalizes () =
     merged
     [ Time.ms 10; Time.ms 11; Time.ms 12 ]
 
+let test_event_log_merge_skew_reorders () =
+  (* Skews large enough to invert the raw timestamp order: sorting on the
+     local clocks would put [late] first; normalizing restores true-time
+     order.  This is the anomaly the paper's offline merge tool existed to
+     fix. *)
+  let a = Event_log.create ~clock_skew:(Time.ms 50) () in
+  let b = Event_log.create ~clock_skew:(Time.ms (-50)) () in
+  Event_log.log a ~now:(Time.ms 10) "early";
+  Event_log.log b ~now:(Time.ms 30) "late";
+  (match Event_log.entries a, Event_log.entries b with
+  | [ ea ], [ eb ] ->
+    check_bool "raw order inverted" true
+      (ea.Event_log.local_time > eb.Event_log.local_time)
+  | _ -> Alcotest.fail "expected one entry per log");
+  Alcotest.(check (list string)) "true-time order" [ "early"; "late" ]
+    (List.map (fun (_, _, m) -> m) (Event_log.merge [ ("a", a); ("b", b) ]))
+
+let test_event_log_merge_ties_stable () =
+  (* Entries that normalize to the same instant keep the order of the
+     log list passed to [merge], whatever their skews. *)
+  let a = Event_log.create ~clock_skew:(Time.ms 7) () in
+  let b = Event_log.create ~clock_skew:(Time.ms (-2)) () in
+  let c = Event_log.create ~clock_skew:Time.zero () in
+  Event_log.log a ~now:(Time.ms 10) "a";
+  Event_log.log b ~now:(Time.ms 10) "b";
+  Event_log.log c ~now:(Time.ms 10) "c";
+  let names logs = List.map (fun (_, n, _) -> n) (Event_log.merge logs) in
+  Alcotest.(check (list string)) "list order" [ "a"; "b"; "c" ]
+    (names [ ("a", a); ("b", b); ("c", c) ]);
+  Alcotest.(check (list string)) "reversed list order" [ "c"; "b"; "a" ]
+    (names [ ("c", c); ("b", b); ("a", a) ]);
+  List.iter
+    (fun (ts, _, _) -> check_int "tie instant" (Time.ms 10) ts)
+    (Event_log.merge [ ("a", a); ("b", b); ("c", c) ])
+
 (* ------------------------------------------------------------------ *)
 (* Topology report closure *)
 
@@ -293,7 +379,10 @@ let () =
           Alcotest.test_case "cap" `Quick test_skeptic_cap;
           Alcotest.test_case "decay" `Quick test_skeptic_decay;
           Alcotest.test_case "reset" `Quick test_skeptic_reset;
-          Alcotest.test_case "floor" `Quick test_skeptic_never_below_initial ] );
+          Alcotest.test_case "floor" `Quick test_skeptic_never_below_initial;
+          QCheck_alcotest.to_alcotest skeptic_monotone_qcheck;
+          QCheck_alcotest.to_alcotest skeptic_bounded_qcheck;
+          QCheck_alcotest.to_alcotest skeptic_halving_qcheck ] );
       ( "port_state",
         [ Alcotest.test_case "transitions" `Quick test_port_state_transitions;
           Alcotest.test_case "reconfig triggers" `Quick
@@ -307,6 +396,10 @@ let () =
         [ Alcotest.test_case "basic" `Quick test_event_log_basic;
           Alcotest.test_case "wraps" `Quick test_event_log_wraps;
           Alcotest.test_case "merge normalizes" `Quick
-            test_event_log_merge_normalizes ] );
+            test_event_log_merge_normalizes;
+          Alcotest.test_case "merge undoes skew inversion" `Quick
+            test_event_log_merge_skew_reorders;
+          Alcotest.test_case "merge ties stable" `Quick
+            test_event_log_merge_ties_stable ] );
       ( "report_closure",
         [ Alcotest.test_case "closure" `Quick test_report_closure ] ) ]

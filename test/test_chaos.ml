@@ -1,0 +1,204 @@
+(* The chaos harness itself: seed plumbing, campaign determinism across
+   domain counts, and — via a deliberately broken invariant hook — the full
+   failure path: violation, greedy shrink, reproducer artifact with the
+   skew-normalized merged event log. *)
+
+open Autonet_topo
+module Chaos = Autonet_chaos.Chaos
+module Oracle = Autonet_chaos.Oracle
+module N = Autonet.Network
+module Autopilot = Autonet_autopilot.Autopilot
+module Pool = Autonet_parallel.Pool
+module Time = Autonet_sim.Time
+module F = Faults
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A topology small enough that a schedule replays in milliseconds. *)
+let tiny =
+  { Chaos.default_config with
+    topo = "ring:4";
+    actions = 4;
+    horizon = Time.ms 300 }
+
+(* ------------------------------------------------------------------ *)
+(* Seed plumbing *)
+
+let test_schedule_seed () =
+  (* Pure: schedule [i] replays without running schedules [0..i-1]. *)
+  check_bool "pure" true
+    (Chaos.schedule_seed ~seed:42L 17 = Chaos.schedule_seed ~seed:42L 17);
+  (* Dispersed: neighbouring indices and campaign seeds all differ. *)
+  let seeds =
+    List.concat_map
+      (fun c ->
+        List.init 100 (fun i -> Chaos.schedule_seed ~seed:(Int64.of_int c) i))
+      [ 0; 1; 42 ]
+  in
+  check_int "all distinct" (List.length seeds)
+    (List.length (List.sort_uniq Int64.compare seeds))
+
+let test_schedule_for_deterministic () =
+  let s1 = Chaos.schedule_for tiny ~seed:7L in
+  let s2 = Chaos.schedule_for tiny ~seed:7L in
+  check_bool "same seed, same schedule" true (s1 = s2);
+  check_bool "nonempty" true (s1 <> []);
+  check_bool "sorted" true (F.sort s1 = s1);
+  check_bool "different seed differs" true (s1 <> Chaos.schedule_for tiny ~seed:8L)
+
+let test_build_topo () =
+  let t = Chaos.build_topo "torus:3,3" ~seed:1L ~hosts:0 in
+  check_int "torus switches" 9
+    (List.length (Autonet_core.Graph.switches t.Builders.graph));
+  let h = Chaos.build_topo "ring:4" ~seed:1L ~hosts:2 in
+  check_bool "hosts attached" true
+    (Autonet_core.Graph.hosts h.Builders.graph <> []);
+  check_bool "bad spec" true
+    (match Chaos.build_topo "mobius:3" ~seed:1L ~hosts:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Verdict lines *)
+
+let test_pp_verdict () =
+  let pp v = Format.asprintf "%a" Chaos.pp_verdict v in
+  check_bool "pass line" true
+    (pp { Chaos.index = 3; seed = 0x4D2L; events = 7; violations = [] }
+    = "#0003 seed=0x00000000000004d2 events=07 PASS");
+  (* Labels are sorted and deduplicated so the line is deterministic. *)
+  check_bool "fail line" true
+    (pp
+       { Chaos.index = 12;
+         seed = 0x4D2L;
+         events = 10;
+         violations =
+           [ Oracle.Reference_mismatch; Oracle.Not_converged;
+             Oracle.Reference_mismatch ] }
+    = "#0012 seed=0x00000000000004d2 events=10 FAIL \
+       [not-converged,reference-mismatch]")
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns *)
+
+(* The first schedules of the chaos-smoke campaign (same config, same
+   campaign seed), re-run on explicit 1- and 2-domain pools: every verdict
+   passes and the two verdict streams are identical — the determinism the
+   seed-replay reproducers depend on. *)
+let test_campaign_deterministic_across_pools () =
+  let config = Chaos.default_config in
+  let run domains =
+    let pool = Pool.create ~domains () in
+    let vs = Chaos.run_campaign ~pool config ~seed:42L ~schedules:4 in
+    Pool.shutdown pool;
+    vs
+  in
+  let d1 = run 1 in
+  let d2 = run 2 in
+  check_int "count" 4 (Array.length d1);
+  Array.iter
+    (fun v ->
+      check_bool
+        (Format.asprintf "%a" Chaos.pp_verdict v)
+        true (Chaos.passed v))
+    d1;
+  check_bool "verdicts identical" true (d1 = d2);
+  Array.iteri
+    (fun i v ->
+      check_bool "replayable seed" true (v.Chaos.seed = Chaos.schedule_seed ~seed:42L i);
+      check_int "events"
+        (List.length (Chaos.schedule_for config ~seed:v.Chaos.seed))
+        v.Chaos.events)
+    d1
+
+(* ------------------------------------------------------------------ *)
+(* Failure path: broken hook -> violation -> shrink -> artifact *)
+
+(* The hook flags a violation whenever switch 2 ends the run powered off —
+   not a real invariant, but it exercises the whole failure path with a
+   known, minimal culprit item. *)
+let switch2_down_hook net =
+  if Autopilot.powered (N.autopilot net 2) then []
+  else [ Oracle.Reference_mismatch ]
+
+let noisy_schedule =
+  F.sort
+    (F.flapping_link ~link:0 ~start:(Time.ms 20) ~period:(Time.ms 40) ~cycles:2
+    @ F.switch_crash ~switch:2 ~at:(Time.ms 50))
+
+let test_hook_failure_and_shrink () =
+  (* Without the hook the schedule passes every real invariant... *)
+  let _, clean = Chaos.run_schedule tiny ~seed:5L ~schedule:noisy_schedule in
+  check_bool "oracle clean" true (clean = []);
+  (* ...with it, the run fails. *)
+  let _, vs =
+    Chaos.run_schedule ~hook:switch2_down_hook tiny ~seed:5L
+      ~schedule:noisy_schedule
+  in
+  check_bool "hook fires" true (vs = [ Oracle.Reference_mismatch ]);
+  (* The shrinker strips the flap noise and keeps only the culprit. *)
+  let shrunk =
+    Chaos.shrink ~hook:switch2_down_hook tiny ~seed:5L ~schedule:noisy_schedule
+  in
+  check_bool "shrunk to the culprit" true
+    (match shrunk with
+    | [ { F.event = F.Switch_down 2; _ } ] -> true
+    | _ -> false);
+  (* A passing schedule comes back unchanged. *)
+  check_bool "pass unshrunk" true
+    (Chaos.shrink tiny ~seed:5L ~schedule:noisy_schedule == noisy_schedule)
+
+let test_investigate_artifact () =
+  (* An always-broken invariant: every schedule fails, so index 0 of the
+     campaign yields a full reproducer artifact.  The shrinker can strip
+     everything but one item (a schedule is never shrunk to nothing). *)
+  let hook _ = [ Oracle.Reference_mismatch ] in
+  let a = Chaos.investigate ~hook ~log_tail:50 tiny ~seed:9L ~index:0 in
+  check_bool "replayable seed" true (a.Chaos.a_seed = Chaos.schedule_seed ~seed:9L 0);
+  check_bool "schedule regenerated" true
+    (a.Chaos.a_schedule = Chaos.schedule_for tiny ~seed:a.Chaos.a_seed);
+  check_bool "violations captured" true
+    (List.mem Oracle.Reference_mismatch a.Chaos.a_violations);
+  check_int "shrunk to one item" 1 (List.length a.Chaos.a_shrunk);
+  check_bool "shrunk still fails" true (a.Chaos.a_shrunk_violations <> []);
+  check_bool "merged log present" true (a.Chaos.a_log <> []);
+  check_bool "log tail bounded" true (List.length a.Chaos.a_log <= 50);
+  (* The log is skew-normalized: merged entries are in true-time order. *)
+  let rec monotone = function
+    | (t1, _, _) :: ((t2, _, _) :: _ as rest) ->
+      t1 <= t2 && monotone rest
+    | _ -> true
+  in
+  check_bool "log in true-time order" true (monotone a.Chaos.a_log);
+  let text = Format.asprintf "%a" Chaos.pp_artifact a in
+  let contains sub =
+    let n = String.length sub in
+    let rec scan i =
+      i + n <= String.length text
+      && (String.sub text i n = sub || scan (i + 1))
+    in
+    scan 0
+  in
+  check_bool "artifact names the reproducer" true (contains "reproducer: topo=ring:4");
+  check_bool "artifact shows the shrunk schedule" true
+    (contains "shrunk schedule (1 items)");
+  check_bool "artifact includes the log" true (contains "merged event log")
+
+let () =
+  Alcotest.run "chaos"
+    [ ( "seeds",
+        [ Alcotest.test_case "schedule_seed" `Quick test_schedule_seed;
+          Alcotest.test_case "schedule_for deterministic" `Quick
+            test_schedule_for_deterministic;
+          Alcotest.test_case "build_topo" `Quick test_build_topo ] );
+      ( "verdicts",
+        [ Alcotest.test_case "pp_verdict" `Quick test_pp_verdict ] );
+      ( "campaign",
+        [ Alcotest.test_case "deterministic across pools" `Slow
+            test_campaign_deterministic_across_pools ] );
+      ( "failure path",
+        [ Alcotest.test_case "hook, violation, shrink" `Slow
+            test_hook_failure_and_shrink;
+          Alcotest.test_case "investigate artifact" `Slow
+            test_investigate_artifact ] ) ]

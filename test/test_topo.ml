@@ -167,7 +167,137 @@ let test_faults_validation () =
     (Invalid_argument "fail_and_repair: repair before failure") (fun () ->
       ignore
         (F.fail_and_repair ~link:0 ~fail_at:(Autonet_sim.Time.ms 5)
-           ~repair_at:(Autonet_sim.Time.ms 5)))
+           ~repair_at:(Autonet_sim.Time.ms 5)));
+  Alcotest.check_raises "degenerate period"
+    (Invalid_argument "flapping_link: period must be >= 2") (fun () ->
+      ignore
+        (F.flapping_link ~link:0 ~start:Autonet_sim.Time.zero ~period:1
+           ~cycles:1));
+  Alcotest.check_raises "no cycles"
+    (Invalid_argument "flapping_link: cycles must be >= 1") (fun () ->
+      ignore
+        (F.flapping_link ~link:0 ~start:Autonet_sim.Time.zero
+           ~period:(Autonet_sim.Time.ms 10) ~cycles:0));
+  Alcotest.check_raises "reboot up before down"
+    (Invalid_argument "switch_reboot: up before down") (fun () ->
+      ignore
+        (F.switch_reboot ~switch:0 ~down_at:(Autonet_sim.Time.ms 5)
+           ~up_at:(Autonet_sim.Time.ms 5)))
+
+(* Equal-time ties break on the deterministic event order (link before
+   switch, down before up, then component id), whatever order the schedule
+   was assembled in. *)
+let test_faults_sort_tiebreak () =
+  let at = Autonet_sim.Time.ms 7 in
+  let mk event = { F.at; event } in
+  let scrambled =
+    [ mk (F.Switch_up 1); mk (F.Link_up 2); mk (F.Link_down 7);
+      mk (F.Switch_down 0); mk (F.Link_down 3) ]
+  in
+  let expect =
+    [ mk (F.Link_down 3); mk (F.Link_down 7); mk (F.Link_up 2);
+      mk (F.Switch_down 0); mk (F.Switch_up 1) ]
+  in
+  check_bool "tie order" true (F.sort scrambled = expect);
+  (* Stability: distinct times dominate the tiebreak. *)
+  let early = { F.at = Autonet_sim.Time.ms 1; event = F.Switch_up 9 } in
+  check_bool "time dominates" true
+    (F.sort (scrambled @ [ early ]) = early :: expect)
+
+let test_faults_switch_reboot () =
+  let s =
+    F.switch_reboot ~switch:4 ~down_at:(Autonet_sim.Time.ms 10)
+      ~up_at:(Autonet_sim.Time.ms 30)
+  in
+  match s with
+  | [ { at = d; event = F.Switch_down 4 }; { at = u; event = F.Switch_up 4 } ]
+    ->
+    check_int "down at" (Autonet_sim.Time.ms 10) d;
+    check_int "up at" (Autonet_sim.Time.ms 30) u
+  | _ -> Alcotest.fail "unexpected reboot shape"
+
+let test_faults_partition () =
+  (* ring of 4: links 0-1, 1-2, 2-3, 3-0.  Cutting {0,1} from {2,3}
+     severs exactly the two straddling links. *)
+  let g = (B.ring ~n:4 ()).B.graph in
+  let side s = s < 2 in
+  let cut = F.partition g ~side ~at:(Autonet_sim.Time.ms 5) in
+  check_int "cut size" 2 (List.length cut);
+  List.iter
+    (fun { F.at; event } ->
+      check_int "cut at" (Autonet_sim.Time.ms 5) at;
+      match event with
+      | F.Link_down l -> (
+        match Graph.link g l with
+        | Some { Graph.a = sa, _; b = sb, _; _ } ->
+          check_bool "straddles" true (side sa <> side sb)
+        | None -> Alcotest.fail "cut link not in the graph")
+      | _ -> Alcotest.fail "partition emitted a non-link-down event")
+    cut;
+  let healed =
+    F.partition ~heal_at:(Autonet_sim.Time.ms 9) g ~side ~at:(Autonet_sim.Time.ms 5)
+  in
+  check_int "healed size" 4 (List.length healed);
+  let downs, ups =
+    List.partition
+      (fun { F.event; _ } ->
+        match event with F.Link_down _ -> true | _ -> false)
+      healed
+  in
+  check_int "downs" 2 (List.length downs);
+  check_int "ups" 2 (List.length ups);
+  List.iter
+    (fun { F.at; _ } -> check_int "heal at" (Autonet_sim.Time.ms 9) at)
+    ups;
+  Alcotest.check_raises "heal before cut"
+    (Invalid_argument "partition: heal before cut") (fun () ->
+      ignore
+        (F.partition ~heal_at:(Autonet_sim.Time.ms 5) g ~side
+           ~at:(Autonet_sim.Time.ms 5)))
+
+let test_faults_random_deterministic () =
+  let g = (B.torus ~rows:3 ~cols:3 ()).B.graph in
+  let gen seed =
+    let rng = Autonet_sim.Rng.create ~seed in
+    F.random ~rng ~graph:g ~horizon:(Autonet_sim.Time.ms 500) ~events:10
+  in
+  check_bool "same seed, same schedule" true (gen 99L = gen 99L);
+  check_bool "different seed, different schedule" true (gen 99L <> gen 100L);
+  Alcotest.check_raises "too few events"
+    (Invalid_argument "Faults.random: events must be >= 1") (fun () ->
+      let rng = Autonet_sim.Rng.create ~seed:1L in
+      ignore (F.random ~rng ~graph:g ~horizon:(Autonet_sim.Time.ms 500) ~events:0));
+  Alcotest.check_raises "degenerate horizon"
+    (Invalid_argument "Faults.random: horizon must be >= 2") (fun () ->
+      let rng = Autonet_sim.Rng.create ~seed:1L in
+      ignore (F.random ~rng ~graph:g ~horizon:1 ~events:4))
+
+(* Property: over many seeds, a random schedule is sorted, lands within the
+   horizon, and never powers off the last live switch (an all-dark network
+   would leave the oracle nothing to check). *)
+let test_faults_random_properties () =
+  let g = (B.torus ~rows:3 ~cols:3 ()).B.graph in
+  let n = List.length (Graph.switches g) in
+  let horizon = Autonet_sim.Time.ms 500 in
+  for seed = 0 to 63 do
+    let rng = Autonet_sim.Rng.create ~seed:(Int64.of_int seed) in
+    let s = F.random ~rng ~graph:g ~horizon ~events:12 in
+    check_bool "nonempty" true (s <> []);
+    check_bool "sorted" true (F.sort s = s);
+    let powered = ref n in
+    List.iter
+      (fun { F.at; event } ->
+        (* Drawn instants land in [0, horizon); the paired repair of a
+           composite action (flap, healed partition) may clamp to exactly
+           [horizon]. *)
+        check_bool "within horizon" true (at >= 0 && at <= horizon);
+        (match event with
+        | F.Switch_down _ -> decr powered
+        | F.Switch_up _ -> incr powered
+        | F.Link_down _ | F.Link_up _ -> ());
+        check_bool "never all dark" true (!powered >= 1))
+      s
+  done
 
 let () =
   Alcotest.run "topo"
@@ -186,4 +316,11 @@ let () =
           Alcotest.test_case "shuffled uids" `Quick test_shuffled_uids ] );
       ( "faults",
         [ Alcotest.test_case "flapping" `Quick test_faults_flapping;
-          Alcotest.test_case "validation" `Quick test_faults_validation ] ) ]
+          Alcotest.test_case "validation" `Quick test_faults_validation;
+          Alcotest.test_case "sort tiebreak" `Quick test_faults_sort_tiebreak;
+          Alcotest.test_case "switch reboot" `Quick test_faults_switch_reboot;
+          Alcotest.test_case "partition" `Quick test_faults_partition;
+          Alcotest.test_case "random deterministic" `Quick
+            test_faults_random_deterministic;
+          Alcotest.test_case "random properties" `Quick
+            test_faults_random_properties ] ) ]
