@@ -1,4 +1,4 @@
-.PHONY: all test bench bench-smoke bench-json chaos-smoke clean
+.PHONY: all test bench bench-smoke bench-json chaos-smoke telemetry-smoke clean
 
 all:
 	dune build @all
@@ -19,6 +19,12 @@ bench-smoke:
 # 1, 2 and 4 domains; the verdict streams must compare equal.
 chaos-smoke:
 	dune build @chaos-smoke
+
+# One SRC reconfiguration with telemetry on: the emitted Chrome trace
+# must parse, its phase spans must nest and sum to the epoch duration,
+# and stdout + trace must be byte-identical at 1, 2 and 4 domains.
+telemetry-smoke:
+	dune build @telemetry-smoke
 
 # Regenerate the committed kernel perf trajectory.
 bench-json:

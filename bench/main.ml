@@ -30,6 +30,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("e14", "broadcast storm and containment", Exp_dataplane.e14);
     ("e15", "Autopilot release rollout storm", Exp_reconfig.e15);
     ("e16", "chaos campaign throughput, serial vs domain pool", Exp_chaos.e16);
+    ("e17", "telemetry instrumentation overhead", Exp_telemetry.e17);
     ("a1", "ablation: minimal vs all legal routes", Exp_routing.a1);
     ("a2", "ablation: FCFC vs strict FCFS scheduler", Exp_dataplane.a2);
     ("a3", "ablation: short addresses vs source routing vs UIDs", Exp_routing.a3);

@@ -244,11 +244,29 @@ let json_of_topology buf (name, g, dia, rows) =
     name (Graph.switch_count g) (Graph.link_count g) dia
     (String.concat ",\n" (List.filter_map kernel_json rows))
 
-let write_json path ~domains topologies =
+(* Schema v3 records what the telemetry subsystem costs (E17's headline
+   number) next to the kernel trajectory: wall seconds for a boot plus
+   one reconfiguration with instrumentation compiled out, present but
+   disabled, and counting. *)
+let json_of_overhead buf (o : Exp_telemetry.overhead) =
+  Printf.bprintf buf
+    "  \"telemetry_overhead\": {\n\
+    \    \"topology\": %S, \"repeats\": %d,\n\
+    \    \"off_s\": %.4f, \"disabled_s\": %.4f, \"on_s\": %.4f,\n\
+    \    \"disabled_overhead_pct\": %.2f, \"on_overhead_pct\": %.2f\n\
+    \  },\n"
+    o.Exp_telemetry.o_topo o.Exp_telemetry.o_repeats o.Exp_telemetry.o_off_s
+    o.Exp_telemetry.o_disabled_s o.Exp_telemetry.o_on_s
+    (Exp_telemetry.disabled_pct o)
+    (Exp_telemetry.on_pct o)
+
+let write_json path ~domains ~overhead topologies =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf
-    "{\n  \"schema\": \"autonet-bench-micro\",\n  \"version\": 2,\n  \"quota_s\": %.3f,\n  \"smoke\": %b,\n  \"domains\": %d,\n  \"topologies\": [\n"
+    "{\n  \"schema\": \"autonet-bench-micro\",\n  \"version\": 3,\n  \"quota_s\": %.3f,\n  \"smoke\": %b,\n  \"domains\": %d,\n"
     (quota_s ()) !smoke domains;
+  json_of_overhead buf overhead;
+  Buffer.add_string buf "  \"topologies\": [\n";
   List.iteri
     (fun i t ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -262,6 +280,17 @@ let write_json path ~domains topologies =
 
 let run () =
   Exp_common.section "Micro-benchmarks: reconfiguration kernels (bechamel)";
+  (* Price the telemetry instruments before bechamel grows the heap and
+     skews wall-clock runs; only needed when writing the JSON record. *)
+  let overhead =
+    match !json_path with
+    | None -> None
+    | Some _ ->
+      Some
+        (Exp_telemetry.measure_overhead
+           ~repeats:(if !smoke then 1 else 5)
+           ~topo:"SRC" (fun () -> B.src_service_lan ()))
+  in
   let pool = Pool.create () in
   Printf.printf
     "domain pool: %d domain(s) (AUTONET_DOMAINS or recommended count)\n%!"
@@ -292,11 +321,11 @@ let run () =
   Printf.printf
     "(these are the software costs behind table_load_time: the paper's 68000\n\
     \ paid them at roughly 100x a modern core's prices)\n\n";
-  (match !json_path with
-  | None -> ()
-  | Some path ->
+  (match (!json_path, overhead) with
+  | Some path, Some overhead ->
     let topo c rows = (c.topo_name, c.g, Exp_common.diameter c.g, rows) in
-    write_json path ~domains:(Pool.domains pool)
+    write_json path ~domains:(Pool.domains pool) ~overhead
       ([ topo src src_rows; topo big big_rows ]
-      @ match scaling with Some (c, rows) -> [ topo c rows ] | None -> []));
+      @ match scaling with Some (c, rows) -> [ topo c rows ] | None -> [])
+  | _ -> ());
   Pool.shutdown pool

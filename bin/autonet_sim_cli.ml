@@ -18,6 +18,10 @@ module Fabric = Autonet_autopilot.Fabric
 module Params = Autonet_autopilot.Params
 module Time = Autonet_sim.Time
 module Chaos = Autonet_chaos.Chaos
+module Metrics = Autonet_telemetry.Metrics
+module Timeline = Autonet_telemetry.Timeline
+module Json = Autonet_telemetry.Json
+module Report = Autonet_analysis.Report
 open Cmdliner
 
 let build_topo spec seed hosts =
@@ -139,7 +143,7 @@ let cmd_srp spec seed hosts params_name route =
     let log = AP.event_log (N.autopilot net 0) in
     List.iter
       (fun e ->
-        Format.printf "  s0 log: %s@." e.Autonet_autopilot.Event_log.message)
+        Format.printf "  s0 log: %s@." (Autonet_autopilot.Event_log.message e))
       (let es = Autonet_autopilot.Event_log.entries log in
        let n = List.length es in
        List.filteri (fun i _ -> i >= n - 5) es);
@@ -161,9 +165,100 @@ let cmd_srp spec seed hosts params_name route =
       (Option.value ~default:(-1) (AP.switch_number ap))
   end
 
+(* --- Telemetry --- *)
+
+let write_trace_json tl path =
+  let s = Json.to_string (Timeline.to_trace_json tl) in
+  if path = "-" then print_endline s
+  else begin
+    let oc = open_out path in
+    output_string oc s;
+    output_char oc '\n';
+    close_out oc;
+    (* stderr: stdout must stay byte-comparable across domain counts even
+       when the trace file name encodes the domain count. *)
+    Format.eprintf "wrote %s@." path
+  end
+
+let parse_fault net spec =
+  match String.split_on_char ':' spec with
+  | [ "none" ] -> None
+  | [ "link"; n ] ->
+    let links = Graph.links (N.graph net) in
+    let l = List.nth links (int_of_string n mod List.length links) in
+    Some (F.Link_down l.Graph.id)
+  | [ "switch"; n ] -> Some (F.Switch_down (int_of_string n))
+  | _ -> invalid_arg (spec ^ ": expected none | link:N | switch:N")
+
+let cmd_telemetry spec seed hosts params_name fault show_metrics json spans
+    check =
+  let params =
+    match Params.preset params_name with
+    | Some p -> p
+    | None -> invalid_arg (params_name ^ ": expected naive | tuned | fast")
+  in
+  let net =
+    N.create ~params ~seed:(Int64.of_int seed) ~telemetry:`On
+      (build_topo spec seed hosts)
+  in
+  N.start net;
+  if not (boot_and_report net) then exit 1;
+  (match parse_fault net fault with
+  | None -> ()
+  | Some ev ->
+    Format.printf "triggering %s...@." fault;
+    (match
+       N.measure_reconfiguration ~timeout:(Time.s 300) net
+         ~trigger:(fun net -> N.apply_fault net ev)
+     with
+    | Some m -> Format.printf "%a@." N.pp_measure m
+    | None ->
+      Format.printf "did not reconverge@.";
+      exit 1));
+  let tl =
+    match N.timeline net with Some tl -> tl | None -> assert false
+  in
+  Report.print (Timeline.phase_report tl);
+  if show_metrics then print_string (Metrics.render (N.telemetry_snapshot net));
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [ ("metrics", Metrics.to_json (N.telemetry_snapshot net));
+              ("trace", Timeline.to_trace_json tl) ]));
+  (match spans with None -> () | Some path -> write_trace_json tl path);
+  if check then begin
+    (* The smoke contract: what we emit must re-parse, and the phase spans
+       must nest inside their epoch and sum to its duration. *)
+    let fail msg =
+      Format.printf "telemetry check: %s@." msg;
+      exit 1
+    in
+    (match Json.parse (Json.to_string (Timeline.to_trace_json tl)) with
+    | Error e -> fail ("trace JSON does not parse: " ^ e)
+    | Ok j -> (
+      match Timeline.validate_trace j with
+      | Error e -> fail e
+      | Ok () -> ()));
+    (match
+       Json.parse (Json.to_string (Metrics.to_json (N.telemetry_snapshot net)))
+     with
+    | Error e -> fail ("metrics JSON does not parse: " ^ e)
+    | Ok _ -> ());
+    let complete =
+      List.length
+        (List.filter
+           (fun e -> e.Timeline.es_complete)
+           (Timeline.epochs tl))
+    in
+    if complete = 0 then fail "no complete epoch in the timeline";
+    Format.printf "telemetry check: ok (%d complete epochs)@." complete
+  end
+
 (* --- Chaos campaigns --- *)
 
-let cmd_chaos topos schedules seed hosts params_name actions horizon_ms replay =
+let cmd_chaos topos schedules seed hosts params_name actions horizon_ms replay
+    spans =
   let params =
     match Params.preset params_name with
     | Some p -> p
@@ -186,6 +281,9 @@ let cmd_chaos topos schedules seed hosts params_name actions horizon_ms replay =
     let topo = List.hd topos in
     let art = Chaos.investigate (config topo) ~seed:seed64 ~index in
     Format.printf "%a@." Chaos.pp_artifact art;
+    (match spans with
+    | None -> ()
+    | Some path -> write_trace_json art.Chaos.a_timeline path);
     if art.Chaos.a_violations <> [] then exit 1
   | None ->
     let failures = ref [] in
@@ -316,4 +414,50 @@ let () =
                         ~doc:
                           "Replay one schedule of the campaign (first \
                            --topo), shrink any failure and print the \
-                           reproducer artifact.")) ]))
+                           reproducer artifact.")
+                $ Arg.(
+                    value & opt (some string) None
+                    & info [ "spans" ] ~docv:"FILE"
+                        ~doc:
+                          "With --replay: write the replay's \
+                           reconfiguration phase timeline as Chrome \
+                           trace_event JSON to FILE (- for stdout)."));
+            Cmd.v
+              (Cmd.info "telemetry"
+                 ~doc:
+                   "Boot a network with telemetry on, trigger one \
+                    reconfiguration, and report the metric snapshot and \
+                    the per-epoch phase timeline.")
+              Term.(
+                const cmd_telemetry $ topo_arg $ seed_arg $ hosts_arg
+                $ params_arg
+                $ Arg.(
+                    value & opt string "link:0"
+                    & info [ "fault" ] ~docv:"FAULT"
+                        ~doc:
+                          "Reconfiguration trigger after boot: none | \
+                           link:N | switch:N.")
+                $ Arg.(
+                    value & flag
+                    & info [ "metrics" ]
+                        ~doc:"Print the metric snapshot, one per line.")
+                $ Arg.(
+                    value & flag
+                    & info [ "json" ]
+                        ~doc:
+                          "Print the snapshot and the trace as one JSON \
+                           object on stdout.")
+                $ Arg.(
+                    value & opt (some string) None
+                    & info [ "spans" ] ~docv:"FILE"
+                        ~doc:
+                          "Write the phase timeline as Chrome trace_event \
+                           JSON to FILE (- for stdout); open in \
+                           chrome://tracing or Perfetto.")
+                $ Arg.(
+                    value & flag
+                    & info [ "check" ]
+                        ~doc:
+                          "Validate the emitted JSON: it must re-parse, \
+                           and the phase spans must nest inside their \
+                           epoch and sum to its duration.")) ]))

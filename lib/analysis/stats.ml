@@ -40,9 +40,12 @@ let histogram ~buckets xs =
   | [] -> []
   | _ ->
     let lo = minimum xs and hi = maximum xs in
-    let width =
-      if hi > lo then (hi -. lo) /. float_of_int buckets else 1.0
-    in
+    if hi <= lo then
+      (* Degenerate sample: every value equal.  One zero-width bucket
+         holding everything beats [buckets] buckets with invented ranges. *)
+      [ (lo, hi, List.length xs) ]
+    else begin
+    let width = (hi -. lo) /. float_of_int buckets in
     let counts = Array.make buckets 0 in
     List.iter
       (fun x ->
@@ -53,6 +56,7 @@ let histogram ~buckets xs =
       xs;
     List.init buckets (fun i ->
         (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width), counts.(i)))
+    end
 
 let mbps_of_bytes ~bytes ~ns =
   if ns <= 0 then 0.0 else float_of_int (bytes * 8) /. float_of_int ns *. 1e3

@@ -13,7 +13,8 @@ val minimum : float list -> float
 val maximum : float list -> float
 
 val histogram : buckets:int -> float list -> (float * float * int) list
-(** Equal-width buckets as [(lo, hi, count)]. *)
+(** Equal-width buckets as [(lo, hi, count)].  When every sample is equal
+    the result is a single zero-width bucket containing all of them. *)
 
 val mbps_of_bytes : bytes:int -> ns:int -> float
 (** Throughput in Mbit/s. *)

@@ -4,6 +4,10 @@ open Autonet_autopilot
 module Engine = Autonet_sim.Engine
 module Time = Autonet_sim.Time
 module Rng = Autonet_sim.Rng
+module Metrics = Autonet_telemetry.Metrics
+module Timeline = Autonet_telemetry.Timeline
+
+type telemetry_mode = [ `Off | `Disabled | `On ]
 
 type t = {
   engine : Engine.t;
@@ -12,24 +16,46 @@ type t = {
   net_params : Params.t;
   net_rng : Rng.t;
   pilots : Autopilot.t array;
+  net_metrics : Metrics.t option;
+  net_timeline : Timeline.t option;
 }
 
-let create ?(params = Params.tuned) ?(seed = 1L) (topo : Autonet_topo.Builders.t) =
+let create ?(params = Params.tuned) ?(seed = 1L) ?(telemetry = `Disabled)
+    (topo : Autonet_topo.Builders.t) =
   let engine = Engine.create () in
   let net_rng = Rng.create ~seed in
   let fabric =
     Fabric.create ~engine ~graph:topo.Autonet_topo.Builders.graph ~params
       ~rng:(Rng.split net_rng)
   in
+  let net_metrics, net_timeline =
+    match telemetry with
+    | `Off -> (None, None)
+    | `Disabled -> (Some (Metrics.create ()), Some (Timeline.create ()))
+    | `On ->
+      (Some (Metrics.create ~enabled:true ()),
+       Some (Timeline.create ~enabled:true ()))
+  in
+  (* Register the snapshot-time gauges up front so a disabled snapshot
+     lists the same instruments (at zero) as an enabled one. *)
+  (match net_metrics with
+  | Some m ->
+    ignore (Metrics.gauge m "engine.events_executed");
+    ignore (Metrics.gauge m "engine.max_queue_length");
+    ignore (Metrics.gauge m "fabric.packets_sent");
+    ignore (Metrics.gauge m "fabric.bytes_sent")
+  | None -> ());
   let g = topo.Autonet_topo.Builders.graph in
   let pilots =
     Array.init (Graph.switch_count g) (fun s ->
         (* Real switch clocks drift; skews make the merged-log tooling
            meaningful. *)
         let clock_skew = Time.us (Rng.int net_rng 200) - Time.us 100 in
-        Autopilot.create ~fabric ~switch:s ~clock_skew ())
+        Autopilot.create ~fabric ~switch:s ~clock_skew ?metrics:net_metrics
+          ?timeline:net_timeline ())
   in
-  { engine; fabric; net_graph = g; net_params = params; net_rng; pilots }
+  { engine; fabric; net_graph = g; net_params = params; net_rng; pilots;
+    net_metrics; net_timeline }
 
 let engine t = t.engine
 let fabric t = t.fabric
@@ -38,6 +64,38 @@ let params t = t.net_params
 let rng t = t.net_rng
 let autopilot t s = t.pilots.(s)
 let now t = Engine.now t.engine
+
+(* --- Telemetry --- *)
+
+let metrics t = t.net_metrics
+let timeline t = t.net_timeline
+
+let set_telemetry_enabled t v =
+  (match t.net_metrics with Some m -> Metrics.set_enabled m v | None -> ());
+  match t.net_timeline with Some tl -> Timeline.set_enabled tl v | None -> ()
+
+let telemetry_snapshot t =
+  match t.net_metrics with
+  | None -> []
+  | Some m ->
+    Metrics.set_gauge
+      (Metrics.gauge m "engine.events_executed")
+      (Engine.events_executed t.engine);
+    Metrics.set_gauge
+      (Metrics.gauge m "engine.max_queue_length")
+      (Engine.max_queue_length t.engine);
+    let fs = Fabric.stats t.fabric in
+    Metrics.set_gauge
+      (Metrics.gauge m "fabric.packets_sent")
+      fs.Fabric.packets_sent;
+    Metrics.set_gauge (Metrics.gauge m "fabric.bytes_sent") fs.Fabric.bytes_sent;
+    Metrics.snapshot m
+
+let mark_detection t =
+  match t.net_timeline with
+  | None -> ()
+  | Some tl ->
+    Timeline.mark tl ~time:(now t) ~epoch:(-1L) ~tid:(-1) Timeline.Detection
 
 let start t = Array.iter Autopilot.start t.pilots
 
@@ -141,6 +199,10 @@ let run_until_converged ?(timeout = Time.s 60) t =
 (* --- Faults --- *)
 
 let apply_fault t event =
+  (* The injection instant anchors the timeline's detection phase: the
+     interval from here to the first epoch start is what the monitors and
+     skeptics took to notice. *)
+  mark_detection t;
   match event with
   | Autonet_topo.Faults.Link_down l -> Fabric.fail_link t.fabric l
   | Autonet_topo.Faults.Link_up l -> Fabric.repair_link t.fabric l
@@ -193,6 +255,7 @@ let measure_reconfiguration ?(timeout = Time.s 60) t ~trigger =
   let before = Array.map Autopilot.stats t.pilots in
   let fabric_before = Fabric.stats t.fabric in
   let t0 = now t in
+  mark_detection t;
   trigger t;
   match run_until_converged ~timeout t with
   | None -> None

@@ -17,9 +17,17 @@ open Autonet_autopilot
 
 type t
 
+type telemetry_mode = [ `Off | `Disabled | `On ]
+(** [`Off]: no registry or timeline exist — the instrumentation is
+    compiled out of the pilots' paths entirely (the bench baseline).
+    [`Disabled] (the default): instruments exist but count nothing until
+    {!set_telemetry_enabled}; each hit costs a load and a branch.
+    [`On]: counting from the first event. *)
+
 val create :
   ?params:Params.t ->
   ?seed:int64 ->
+  ?telemetry:telemetry_mode ->
   Autonet_topo.Builders.t ->
   t
 (** [params] defaults to {!Params.tuned}; [seed] (default 1) drives clock
@@ -83,6 +91,23 @@ val measure_reconfiguration :
     the reconfiguration that follows. *)
 
 val pp_measure : Format.formatter -> reconfiguration_measure -> unit
+
+(** {1 Telemetry} *)
+
+val metrics : t -> Autonet_telemetry.Metrics.t option
+(** The registry shared by every pilot; [None] in [`Off] mode. *)
+
+val timeline : t -> Autonet_telemetry.Timeline.t option
+(** The reconfiguration phase timeline; [None] in [`Off] mode. *)
+
+val set_telemetry_enabled : t -> bool -> unit
+(** Flip both the registry and the timeline (no-op in [`Off] mode). *)
+
+val telemetry_snapshot : t -> Autonet_telemetry.Metrics.snapshot
+(** The registry's snapshot, with the engine and fabric gauges
+    ([engine.events_executed], [engine.max_queue_length],
+    [fabric.packets_sent], [fabric.bytes_sent]) refreshed first.  Empty
+    in [`Off] mode. *)
 
 (** {1 Inspection} *)
 

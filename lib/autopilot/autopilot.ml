@@ -4,8 +4,24 @@ module Engine = Autonet_sim.Engine
 module Time = Autonet_sim.Time
 module Forwarding_table = Autonet_switch.Forwarding_table
 module Port_vector = Autonet_switch.Port_vector
+module Metrics = Autonet_telemetry.Metrics
+module Timeline = Autonet_telemetry.Timeline
 
 type flood_info = { fi_parent : int option; fi_children : int list }
+
+(* Counters resolved once at creation; shared across the network's pilots
+   through the common registry.  [None] (no registry) compiles the
+   instrumentation out of the receive path entirely. *)
+type tel_counters = {
+  ct_packets : Metrics.counter;
+  ct_reset_losses : Metrics.counter;
+  ct_malformed : Metrics.counter;
+  ct_reconfigs : Metrics.counter;
+  ct_configs : Metrics.counter;
+  ct_transitions : Metrics.counter;
+  ct_backoffs : Metrics.counter;
+  ct_events : Metrics.counter;
+}
 
 type t = {
   fabric : Fabric.t;
@@ -13,6 +29,8 @@ type t = {
   sw_uid : Uid.t;
   table : Forwarding_table.t;
   log : Event_log.t;
+  counters : tel_counters option;
+  timeline : Timeline.t option;
   mutable monitor : Port_monitor.t option;
   mutable reconfig : Reconfig.t option;
   mutable is_powered : bool;
@@ -80,7 +98,28 @@ let stats t =
 
 let set_on_configured t f = t.on_configured <- Some f
 
-let logf t fmt = Format.kasprintf (fun m -> Event_log.log t.log ~now:(now t) m) fmt
+(* Every event — typed or freeform, from the monitor, the reconfig
+   instance or the pilot itself — funnels through here, so the metrics
+   registry can count the interesting kinds in one place. *)
+let record_event t e =
+  Event_log.log t.log ~now:(now t) e;
+  match t.counters with
+  | None -> ()
+  | Some c ->
+    Metrics.incr c.ct_events;
+    (match e with
+    | Event.Port_transition _ -> Metrics.incr c.ct_transitions
+    | Event.Skeptic_backoff _ -> Metrics.incr c.ct_backoffs
+    | Event.Malformed_packet _ -> Metrics.incr c.ct_malformed
+    | _ -> ())
+
+let mark t kind =
+  match t.timeline with
+  | None -> ()
+  | Some tl ->
+    Timeline.mark tl ~time:(now t)
+      ~epoch:(Epoch.to_int64 (Reconfig.epoch (reconfig_exn t)))
+      ~tid:t.sw kind
 
 let send t ~port msg =
   Fabric.switch_send t.fabric ~from:t.sw ~port (Messages.to_packet msg)
@@ -94,7 +133,7 @@ let enable_host_port t q =
   | Some number ->
     if not t.host_enabled.(q) then begin
       t.host_enabled.(q) <- true;
-      logf t "enable host port %d" q;
+      record_event t (Event.Host_port_enabled { port = q });
       (* Inbound: the port behaves like the control processor (both enter
          the network in the Up phase), so copy row 0. *)
       if not (Forwarding_table.has_row t.table ~in_port:q) then
@@ -149,7 +188,7 @@ let enable_host_port t q =
 let disable_host_port t q =
   if q < Array.length t.host_enabled && t.host_enabled.(q) then begin
     t.host_enabled.(q) <- false;
-    logf t "disable host port %d" q;
+    record_event t (Event.Host_port_disabled { port = q });
     (match switch_number t with
     | Some number ->
       let addr = Short_address.assigned ~switch_number:number ~port:q in
@@ -189,7 +228,10 @@ let snapshot_and_start t ?join reason =
     let usable = Port_monitor.good_ports (monitor_exn t) in
     t.st_reconfigs <- t.st_reconfigs + 1;
     t.st_epoch_started <- Some (now t);
-    logf t "reconfiguration: %s" reason;
+    (match t.counters with
+    | Some c -> Metrics.incr c.ct_reconfigs
+    | None -> ());
+    record_event t (Event.Reconfig_started { reason });
     Array.fill t.host_enabled 0 (Array.length t.host_enabled) false;
     t.flood <- None;
     Reconfig.start_epoch (reconfig_exn t) ?join ~usable
@@ -226,10 +268,12 @@ let make_callbacks t =
   { Reconfig.cb_send = (fun ~port msg -> send t ~port msg);
     cb_load_constant =
       (fun () ->
+        record_event t (Event.Table_loading { constant = true });
         begin_reload t ~finish:(fun () ->
             Forwarding_table.load_constant t.table));
     cb_load_tables =
       (fun spec assignment ->
+        record_event t (Event.Table_loading { constant = false });
         begin_reload t ~finish:(fun () ->
             Forwarding_table.load_spec t.table spec;
             (* Remember the flood structure for late host-port enables. *)
@@ -259,10 +303,15 @@ let make_callbacks t =
       (fun () ->
         t.st_configs <- t.st_configs + 1;
         t.st_configured_at <- Some (now t);
-        logf t "configured (number %d)"
-          (Option.value ~default:(-1) (switch_number t));
+        (match t.counters with
+        | Some c -> Metrics.incr c.ct_configs
+        | None -> ());
+        record_event t
+          (Event.Configured
+             { number = Option.value ~default:(-1) (switch_number t) });
         match t.on_configured with Some f -> f t | None -> ());
-    cb_log = (fun m -> Event_log.log t.log ~now:(now t) m) }
+    cb_log = (fun e -> record_event t e);
+    cb_mark = (fun kind -> mark t kind) }
 
 (* --- Lifecycle --- *)
 
@@ -285,7 +334,7 @@ let start t =
     t.is_powered <- true;
     Fabric.power_on_switch t.fabric t.sw;
     Forwarding_table.load_constant t.table;
-    logf t "boot";
+    record_event t Event.Boot;
     Port_monitor.start (monitor_exn t);
     schedule_retransmit t;
     (* Enter epoch 1 immediately: an isolated switch configures itself;
@@ -297,7 +346,7 @@ let start t =
 
 let rec release_version t ~version =
   if version > t.version && t.is_powered then begin
-    logf t "booting Autopilot v%d" version;
+    record_event t (Event.Software_boot { version });
     t.version <- version;
     (* Booting the new version loses all volatile state: power cycle. *)
     power_off t;
@@ -319,7 +368,7 @@ let rec release_version t ~version =
 
 and power_off t =
   if t.is_powered then begin
-    logf t "power off";
+    record_event t Event.Power_off;
     t.is_powered <- false;
     Port_monitor.stop (monitor_exn t);
     (match t.retransmit_timer with Some h -> Engine.cancel h | None -> ());
@@ -353,7 +402,7 @@ let execute_srp t request =
       else List.filteri (fun i _ -> i >= n - max_entries) entries
     in
     Messages.Log_entries
-      (List.map (fun e -> (e.Event_log.local_time, e.Event_log.message)) tail)
+      (List.map (fun e -> (e.Event_log.local_time, Event_log.message e)) tail)
   | Messages.Get_topology -> begin
     match complete_report t with
     | Some r -> Messages.Topology r
@@ -379,8 +428,10 @@ let handle_srp t ~port msg =
     match route with
     | [] ->
       (* We are the origin of the probe: record what came back. *)
-      logf t "srp response: %s"
-        (match response with
+      record_event t
+        (Event.Srp_response
+           { detail =
+               (match response with
         | Messages.State { uid = u; epoch = e; configured = cfg; port_states } ->
           Format.asprintf "state of %a: %a configured=%b good-ports=%d" Uid.pp
             u Epoch.pp e cfg
@@ -392,7 +443,7 @@ let handle_srp t ~port msg =
           Printf.sprintf "%d log entries" (List.length es)
         | Messages.Topology r ->
           Printf.sprintf "topology of %d switches" (Topology_report.size r)
-        | Messages.No_data -> "no data")
+        | Messages.No_data -> "no data") })
     | out :: rest ->
       send t ~port:out (Messages.Srp_response { route = rest; response })
   end
@@ -401,15 +452,21 @@ let handle_srp t ~port msg =
 (* --- Receive dispatch --- *)
 
 let on_receive t ~port packet =
+  (match t.counters with
+  | Some c -> Metrics.incr c.ct_packets
+  | None -> ());
   if not t.is_powered then ()
   else if now t < t.loading_until then begin
     (* The data path is resetting: the packet is destroyed. *)
-    t.st_reset_losses <- t.st_reset_losses + 1
+    t.st_reset_losses <- t.st_reset_losses + 1;
+    match t.counters with
+    | Some c -> Metrics.incr c.ct_reset_losses
+    | None -> ()
   end
   else
     match Messages.of_packet packet with
     | exception (Wire.Malformed _ | Wire.Truncated) ->
-      logf t "malformed packet on port %d" port
+      record_event t (Event.Malformed_packet { port })
     | msg ->
       (* A neighbour running newer software pulls us up, whether the news
          arrives as an explicit offer or on a connectivity probe. *)
@@ -465,14 +522,29 @@ let on_transition t (tr : Port_monitor.transition) =
 
 (* --- Lifecycle --- *)
 
-let create ~fabric ~switch ?(clock_skew = Time.zero) () =
+let create ~fabric ~switch ?(clock_skew = Time.zero) ?metrics ?timeline () =
   let g = Fabric.graph fabric in
+  let counters =
+    Option.map
+      (fun m ->
+        { ct_packets = Metrics.counter m "autopilot.packets_received";
+          ct_reset_losses = Metrics.counter m "autopilot.packets_lost_to_reset";
+          ct_malformed = Metrics.counter m "autopilot.malformed_packets";
+          ct_reconfigs = Metrics.counter m "autopilot.reconfigurations";
+          ct_configs = Metrics.counter m "autopilot.configurations";
+          ct_transitions = Metrics.counter m "autopilot.port_transitions";
+          ct_backoffs = Metrics.counter m "autopilot.skeptic_backoffs";
+          ct_events = Metrics.counter m "autopilot.events_logged" })
+      metrics
+  in
   let t =
     { fabric;
       sw = switch;
       sw_uid = Graph.uid g switch;
       table = Forwarding_table.create ~max_ports:(Graph.max_ports g);
       log = Event_log.create ~clock_skew ();
+      counters;
+      timeline;
       monitor = None;
       reconfig = None;
       is_powered = false;
@@ -495,7 +567,7 @@ let create ~fabric ~switch ?(clock_skew = Time.zero) () =
       ~send:(fun ~port msg -> send t ~port msg)
       ~sw_version:(fun () -> t.advertised_version)
       ~on_transition:(fun tr -> on_transition t tr)
-      ~log:(fun m -> Event_log.log t.log ~now:(now t) m)
+      ~log:(fun e -> record_event t e)
       ()
   in
   let reconfig =

@@ -19,10 +19,15 @@ val create :
   fabric:Fabric.t ->
   switch:Graph.switch ->
   ?clock_skew:Autonet_sim.Time.t ->
+  ?metrics:Autonet_telemetry.Metrics.t ->
+  ?timeline:Autonet_telemetry.Timeline.t ->
   unit ->
   t
 (** Builds the instance and registers its receive handler with the fabric;
-    call {!start} to boot it. *)
+    call {!start} to boot it.  [metrics] (shared by all of a network's
+    pilots) adds counters to the receive and event paths; [timeline]
+    records reconfiguration phase marks.  Omitting them compiles the
+    instrumentation out of this pilot entirely. *)
 
 val start : t -> unit
 (** Power-on: all ports in s.dead, epoch zero, begin monitoring. *)

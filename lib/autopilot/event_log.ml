@@ -1,6 +1,8 @@
 module Time = Autonet_sim.Time
 
-type entry = { local_time : int; message : string }
+type entry = { local_time : int; event : Event.t }
+
+let message e = Event.to_string e.event
 
 type t = {
   capacity : int;
@@ -14,14 +16,17 @@ let create ?(capacity = 512) ~clock_skew () =
   if capacity < 1 then invalid_arg "Event_log.create: capacity";
   { capacity; clock_skew; ring = Array.make capacity None; next = 0; total = 0 }
 
+let capacity t = t.capacity
+
 let skew t = t.clock_skew
 
-let log t ~now message =
-  t.ring.(t.next) <- Some { local_time = Time.add now t.clock_skew; message };
+let log t ~now event =
+  t.ring.(t.next) <- Some { local_time = Time.add now t.clock_skew; event };
   t.next <- (t.next + 1) mod t.capacity;
   t.total <- t.total + 1
 
-let logf t ~now fmt = Format.kasprintf (fun message -> log t ~now message) fmt
+let logf t ~now fmt =
+  Format.kasprintf (fun m -> log t ~now (Event.Generic m)) fmt
 
 let entries t =
   (* [t.next] is the oldest slot once the ring has wrapped; walking from
@@ -42,7 +47,7 @@ let merge logs =
     List.concat_map
       (fun (name, t) ->
         List.map
-          (fun e -> (Time.sub e.local_time t.clock_skew, name, e.message))
+          (fun e -> (Time.sub e.local_time t.clock_skew, name, message e))
           (entries t))
       logs
   in

@@ -5,22 +5,31 @@
     events, timestamped with its {e local} clock — which drifts from true
     time by a per-switch offset, as real switch clocks did.  Merging logs
     requires normalizing those timestamps; the [merge] function does what
-    the paper's offline tool did, given the known offsets. *)
+    the paper's offline tool did, given the known offsets.
+
+    Entries are typed {!Event.t}s; {!message} renders one for the
+    merged-log tool and the SRP [Get_log] reply. *)
 
 type t
 
-type entry = { local_time : int; message : string }
+type entry = { local_time : int; event : Event.t }
+
+val message : entry -> string
+(** [Event.to_string entry.event]. *)
 
 val create : ?capacity:int -> clock_skew:Autonet_sim.Time.t -> unit -> t
 (** [capacity] defaults to 512 entries; older entries are overwritten. *)
 
+val capacity : t -> int
+
 val skew : t -> Autonet_sim.Time.t
 
-val log : t -> now:Autonet_sim.Time.t -> string -> unit
+val log : t -> now:Autonet_sim.Time.t -> Event.t -> unit
 (** Record an event; the stored timestamp is [now + skew]. *)
 
 val logf :
   t -> now:Autonet_sim.Time.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Record an {!Event.Generic} built from a format string. *)
 
 val entries : t -> entry list
 (** Oldest first, at most [capacity]. *)

@@ -35,7 +35,7 @@ type t = {
   send : port:int -> Messages.t -> unit;
   sw_version : unit -> int;
   on_transition : transition -> unit;
-  log : string -> unit;
+  log : Event.t -> unit;
   ports : port_info array; (* index 1..max_ports *)
   mutable next_token : int;
   mutable sample_timer : Engine.handle option;
@@ -78,6 +78,14 @@ let create ~fabric ~switch ~uid ~send ~sw_version ~on_transition ~log () =
 
 let state t ~port = t.ports.(port).state
 
+(* A relapse lengthens the skeptic's hold-down: log the new hold so the
+   merged log shows the backoff climbing on a flapping link. *)
+let note_backoff t port kind sk =
+  Skeptic.note_relapse sk ~now:(now t);
+  t.log
+    (Event.Skeptic_backoff
+       { port; skeptic = kind; hold = Skeptic.required_hold sk })
+
 let neighbor t ~port =
   match t.ports.(port).state with
   | Port_state.Switch_good -> t.ports.(port).neighbor
@@ -108,10 +116,7 @@ let transition t port into =
     assert (Port_state.legal_transition from_state into);
     info.state <- into;
     info.state_since <- now t;
-    t.log
-      (Printf.sprintf "port %d: %s -> %s" port
-         (Port_state.to_string from_state)
-         (Port_state.to_string into));
+    t.log (Event.Port_transition { port; from_state; into_state = into });
     (* Flow control follows the state: dead ports send idhy. *)
     Fabric.set_port_flow t.fabric t.switch ~port
       (if Port_state.equal into Port_state.Dead then Fabric.Flow_idhy
@@ -123,7 +128,7 @@ let transition t port into =
 let to_dead t port ~relapse =
   let info = t.ports.(port) in
   (* Credit the healthy interval first, then penalize the relapse. *)
-  if relapse then Skeptic.note_relapse info.status_skeptic ~now:(now t)
+  if relapse then note_backoff t port Event.Status info.status_skeptic
   else
     Skeptic.note_healthy_since info.status_skeptic ~promoted_at:info.promoted_at
       ~now:(now t);
@@ -188,7 +193,7 @@ let send_probe t port =
       Port_state.equal info.state Port_state.Switch_good
       && info.misses >= (params t).Params.conn_miss_limit
     then begin
-      Skeptic.note_relapse info.conn_skeptic ~now:(now t);
+      note_backoff t port Event.Conn info.conn_skeptic;
       info.neighbor <- None;
       info.candidate <- None;
       transition t port Port_state.Switch_who
@@ -241,7 +246,7 @@ let handle_conn_reply t ~port (reply : Messages.t) =
         match info.state with
         | Port_state.Switch_who -> transition t port Port_state.Switch_loop
         | Port_state.Switch_good ->
-          Skeptic.note_relapse info.conn_skeptic ~now:(now t);
+          note_backoff t port Event.Conn info.conn_skeptic;
           transition t port Port_state.Switch_who
         | _ -> ()
       end
@@ -267,7 +272,7 @@ let handle_conn_reply t ~port (reply : Messages.t) =
         | Port_state.Switch_good ->
           if info.neighbor <> Some id then begin
             (* The switch at the far end changed identity. *)
-            Skeptic.note_relapse info.conn_skeptic ~now:(now t);
+            note_backoff t port Event.Conn info.conn_skeptic;
             info.neighbor <- None;
             info.candidate <- Some id;
             info.good_since <- Some (now t);

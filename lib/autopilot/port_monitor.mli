@@ -35,7 +35,7 @@ val create :
   send:(port:int -> Messages.t -> unit) ->
   sw_version:(unit -> int) ->
   on_transition:(transition -> unit) ->
-  log:(string -> unit) ->
+  log:(Event.t -> unit) ->
   unit ->
   t
 

@@ -7,7 +7,8 @@ type callbacks = {
   cb_load_constant : unit -> unit;
   cb_load_tables : Tables.spec -> Address_assign.t -> unit;
   cb_configured : unit -> unit;
-  cb_log : string -> unit;
+  cb_log : Event.t -> unit;
+  cb_mark : Autonet_telemetry.Timeline.kind -> unit;
 }
 
 (* What we last told the parent about our subtree. *)
@@ -83,7 +84,11 @@ let fresh_seq t =
 
 let peer_at t port = List.find_opt (fun p -> p.p_port = port) t.peers
 
-let log t fmt = Format.kasprintf t.callbacks.cb_log fmt
+let log t fmt =
+  Format.kasprintf (fun m -> t.callbacks.cb_log (Event.Generic m)) fmt
+
+let event t e = t.callbacks.cb_log e
+let mark t k = t.callbacks.cb_mark k
 
 let announce_position t =
   t.pos_seq <- fresh_seq t;
@@ -147,9 +152,10 @@ let finish_configuration t report =
       let spec = Tables.build g tree updown routes assignment me in
       t.my_number <- Address_assign.number assignment me;
       t.last_assignment <- Some assignment;
-      log t "computing tables: %d switches, number %d"
-        (Topology_report.size report)
-        (Option.value ~default:(-1) t.my_number);
+      event t
+        (Event.Tables_computed
+           { switches = Topology_report.size report;
+             number = Option.value ~default:(-1) t.my_number });
       (* The root already holds the complete topology, so it can afford
          the global safety check the other switches cannot: synthesize
          every member's table across the domain pool and verify the
@@ -161,13 +167,16 @@ let finish_configuration t report =
         let all = Tables.build_all ~pool g tree updown routes assignment in
         match Deadlock.check_tables ~pool g all with
         | Deadlock.Acyclic ->
-          log t "root verify: %d tables deadlock-free (%d domain(s))"
-            (List.length all)
-            (Autonet_parallel.Pool.domains pool)
+          event t
+            (Event.Root_verified
+               { tables = List.length all;
+                 domains = Autonet_parallel.Pool.domains pool })
         | Deadlock.Cycle _ as r ->
-          log t "root verify: DEADLOCK in computed tables: %a"
-            Deadlock.pp_result r
+          event t
+            (Event.Root_deadlock
+               { detail = Format.asprintf "%a" Deadlock.pp_result r })
       end;
+      mark t Autonet_telemetry.Timeline.Load_begin;
       t.callbacks.cb_load_tables spec assignment
   end;
   (* Flood the complete topology to every claiming child that has not
@@ -207,6 +216,8 @@ let evaluate t =
   let now_stable = acked && children_ready in
   let was_stable = t.stable in
   t.stable <- now_stable;
+  if now_stable && not was_stable then
+    mark t Autonet_telemetry.Timeline.Tree_stable;
   if now_stable then begin
     let report = merged_report t in
     if t.complete_done then begin
@@ -222,13 +233,14 @@ let evaluate t =
          be, because the missing switch's neighbours describe links to it. *)
       if Topology_report.closed report then begin
         if not was_stable then
-          log t "stable as root: %d switches known"
-            (Topology_report.size report);
+          event t (Event.Root_stable { switches = Topology_report.size report });
+        if not t.complete_done then
+          mark t Autonet_telemetry.Timeline.Reports_closed;
         finish_configuration t report
       end
       else
-        log t "stable but report not closed (%d switches): waiting"
-          (Topology_report.size report)
+        event t
+          (Event.Report_waiting { switches = Topology_report.size report })
     end
     else begin
       let need_send =
@@ -249,7 +261,7 @@ let evaluate t =
   end
 
 let adopt_position t pos =
-  log t "position %s" (Format.asprintf "%a" Position.pp pos);
+  event t (Event.Position_adopted { position = pos });
   t.position <- pos;
   t.stable <- false;
   (* The old parent learns from the same announcement that we moved; our
@@ -282,9 +294,9 @@ let start_epoch t ?join ~usable ~host_ports () =
   t.report_state <- Nothing_sent;
   t.complete <- None;
   t.complete_done <- false;
-  log t "start %s with %d usable links"
-    (Format.asprintf "%a" Epoch.pp e)
-    (List.length t.peers);
+  event t
+    (Event.Epoch_started { epoch = e; usable_links = List.length t.peers });
+  mark t Autonet_telemetry.Timeline.Epoch_start;
   t.callbacks.cb_load_constant ();
   announce_position t;
   (* A lone switch with no usable links is immediately stable root. *)
@@ -394,6 +406,7 @@ let handle_message t ~port msg =
 
 let note_configured t =
   t.configured <- true;
+  mark t Autonet_telemetry.Timeline.Configured;
   t.callbacks.cb_configured ()
 
 let on_retransmit_timer t =

@@ -33,7 +33,11 @@ type callbacks = {
       (** begin the step-5 destructive reload *)
   cb_configured : unit -> unit;
       (** the step-5 reload finished; open for business *)
-  cb_log : string -> unit;
+  cb_log : Event.t -> unit;
+  cb_mark : Autonet_telemetry.Timeline.kind -> unit;
+      (** phase-timeline milestones ([Epoch_start], [Tree_stable],
+          [Reports_closed], [Load_begin], [Configured]); the owner stamps
+          time, epoch and switch id *)
 }
 
 type t

@@ -5,6 +5,8 @@ module Pool = Autonet_parallel.Pool
 module Rng = Autonet_sim.Rng
 module Time = Autonet_sim.Time
 module B = Builders
+module Metrics = Autonet_telemetry.Metrics
+module Timeline = Autonet_telemetry.Timeline
 
 type config = {
   topo : string;
@@ -63,9 +65,9 @@ let schedule_for config ~seed =
 
 type hook = N.t -> Oracle.violation list
 
-let run_schedule ?hook config ~seed ~schedule =
+let run_schedule ?hook ?(telemetry = `Disabled) config ~seed ~schedule =
   let topo = build_topo config.topo ~seed ~hosts:config.hosts in
-  let net = N.create ~params:config.params ~seed topo in
+  let net = N.create ~params:config.params ~seed ~telemetry topo in
   N.start net;
   N.schedule_faults net schedule;
   (* Faults start landing at t=0, squarely inside the boot-time
@@ -166,6 +168,8 @@ type artifact = {
   a_shrunk : Faults.schedule;
   a_shrunk_violations : Oracle.violation list;
   a_log : (Time.t * string * string) list;
+  a_metrics : Metrics.snapshot;
+  a_timeline : Timeline.t;
 }
 
 let investigate ?hook ?(log_tail = 200) config ~seed ~index =
@@ -176,8 +180,11 @@ let investigate ?hook ?(log_tail = 200) config ~seed ~index =
     if violations = [] then schedule
     else shrink ?hook config ~seed:sseed ~schedule
   in
+  (* The final replay carries full telemetry: the reproducer packages the
+     metric snapshot and the phase timeline alongside the merged log, and
+     the CLI can export the timeline as a Chrome trace. *)
   let net, shrunk_violations =
-    run_schedule ?hook config ~seed:sseed ~schedule:shrunk
+    run_schedule ?hook ~telemetry:`On config ~seed:sseed ~schedule:shrunk
   in
   let log =
     let l = N.merged_log net in
@@ -191,7 +198,12 @@ let investigate ?hook ?(log_tail = 200) config ~seed ~index =
     a_violations = violations;
     a_shrunk = shrunk;
     a_shrunk_violations = shrunk_violations;
-    a_log = log }
+    a_log = log;
+    a_metrics = N.telemetry_snapshot net;
+    a_timeline =
+      (match N.timeline net with
+      | Some tl -> tl
+      | None -> Timeline.create ()) }
 
 let pp_artifact ppf a =
   Format.fprintf ppf "@[<v>reproducer: topo=%s seed=0x%016Lx (campaign index %d)@,"
@@ -208,8 +220,14 @@ let pp_artifact ppf a =
       (Format.pp_print_list Oracle.pp_violation)
       a.a_shrunk_violations
   end;
-  Format.fprintf ppf "merged event log (last %d entries):@,  @[<v>%a@]@]"
+  Format.fprintf ppf "merged event log (last %d entries):@,  @[<v>%a@]@,"
     (List.length a.a_log)
     (Format.pp_print_list (fun ppf (ts, who, msg) ->
          Format.fprintf ppf "%a %s: %s" Time.pp ts who msg))
-    a.a_log
+    a.a_log;
+  let metric_lines =
+    String.split_on_char '\n' (String.trim (Metrics.render a.a_metrics))
+  in
+  Format.fprintf ppf "telemetry snapshot:@,  @[<v>%a@]@]"
+    (Format.pp_print_list Format.pp_print_string)
+    metric_lines

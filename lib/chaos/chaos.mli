@@ -48,13 +48,17 @@ type hook = Autonet.Network.t -> Oracle.violation list
 
 val run_schedule :
   ?hook:hook ->
+  ?telemetry:Autonet.Network.telemetry_mode ->
   config ->
   seed:int64 ->
   schedule:Faults.schedule ->
   Autonet.Network.t * Oracle.violation list
 (** Build the network from [seed], play the schedule, wait for quiescence
     and run the oracle (plus [hook]).  Returns the final network for
-    inspection along with the violations (empty = schedule passed). *)
+    inspection along with the violations (empty = schedule passed).
+    [telemetry] (default [`Disabled]) is passed to
+    {!Autonet.Network.create}; telemetry is passive, so the verdict is
+    identical in every mode. *)
 
 (** {1 Campaigns} *)
 
@@ -110,15 +114,22 @@ type artifact = {
   a_log : (Autonet_sim.Time.t * string * string) list;
       (** tail of the skew-normalized merged event log of the shrunk
           failing run *)
+  a_metrics : Autonet_telemetry.Metrics.snapshot;
+      (** telemetry snapshot of the shrunk failing run (replayed with
+          telemetry on) *)
+  a_timeline : Autonet_telemetry.Timeline.t;
+      (** reconfiguration phase timeline of the same run, exportable with
+          {!Autonet_telemetry.Timeline.to_trace_json} *)
 }
 
 val investigate :
   ?hook:hook -> ?log_tail:int -> config -> seed:int64 -> index:int -> artifact
 (** Replay schedule [index]'s seed, shrink the failure and capture the
-    merged log ([log_tail] entries, default 200).  Meaningful only for a
-    failing schedule; a passing one yields an artifact with no
+    merged log ([log_tail] entries, default 200) plus the telemetry
+    snapshot and phase timeline of the final (shrunk) replay.  Meaningful
+    only for a failing schedule; a passing one yields an artifact with no
     violations. *)
 
 val pp_artifact : Format.formatter -> artifact -> unit
 (** The full reproducer: topology spec, seed, original and shrunk
-    schedules, violations, merged event log. *)
+    schedules, violations, merged event log, telemetry snapshot. *)

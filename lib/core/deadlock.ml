@@ -208,14 +208,16 @@ let find_cycle_csr g ~off ~adj n =
 let check_tables ?pool g specs =
   let n = max_channel g in
   let per_switch =
+    (* A given pool is always used, even with one domain or one spec:
+       [parallel_map_array] runs those serially anyway, and the uniform
+       path keeps the pool's call/item metrics identical for every
+       domain count. *)
     match pool with
-    | Some pool
-      when Autonet_parallel.Pool.domains pool > 1
-           && List.compare_length_with specs 1 > 0 ->
+    | Some pool ->
       Array.to_list
         (Autonet_parallel.Pool.parallel_map_array pool (spec_edges g)
            (Array.of_list specs))
-    | Some _ | None -> List.map (spec_edges g) specs
+    | None -> List.map (spec_edges g) specs
   in
   let off, adj = build_csr n per_switch in
   find_cycle_csr g ~off ~adj n

@@ -293,15 +293,18 @@ let of_entries ~switch entries_list =
 let build_all ?mode ?pool g tree updown routes assignment =
   let members = Spanning_tree.members tree in
   match pool with
-  | Some pool when Autonet_parallel.Pool.domains pool > 1 ->
+  | Some pool ->
     (* Force the graph's lazily-built adjacency cache (and keep it forced)
-       before fanning out: workers must only read the graph. *)
+       before fanning out: workers must only read the graph.  One-domain
+       pools run the map serially inside [parallel_map_array]; going
+       through the pool regardless keeps its call/item metrics identical
+       for every domain count. *)
     (match members with m :: _ -> ignore (Graph.degree g m) | [] -> ());
     Array.to_list
       (Autonet_parallel.Pool.parallel_map_array pool
          (fun s -> build ?mode g tree updown routes assignment s)
          (Array.of_list members))
-  | Some _ | None ->
+  | None ->
     List.map (fun s -> build ?mode g tree updown routes assignment s) members
 
 module Reference = struct

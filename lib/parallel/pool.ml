@@ -12,6 +12,8 @@
    interleaving.  A pool of one domain degenerates to plain loops on the
    calling domain with no locking at all. *)
 
+module Metrics = Autonet_telemetry.Metrics
+
 type t = {
   n_domains : int;
   mutex : Mutex.t;
@@ -24,6 +26,17 @@ type t = {
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
   busy : bool Atomic.t;               (* a round is in flight *)
+  (* One registry per worker index: each is written by at most one domain
+     at a time, and {!metrics_snapshot} merges them into one deterministic
+     view.  Only the domain that owns the pool for a combinator call (wins
+     the [busy] flag) counts anything — nested/concurrent calls run
+     uncounted on every path, including one-domain pools — so the merged
+     totals are identical for any domain count. *)
+  regs : Metrics.t array;
+  c_calls : Metrics.counter;    (* top-level combinator calls; regs.(0) *)
+  c_items : Metrics.counter;    (* items those calls covered; regs.(0) *)
+  h_round : Metrics.histogram;  (* items per call; regs.(0) *)
+  c_worker_items : Metrics.counter array; (* items run by worker i *)
 }
 
 let domains t = t.n_domains
@@ -90,6 +103,7 @@ let create ?domains () =
       | None -> Domain.recommended_domain_count ())
   in
   let d = Stdlib.max 1 (Stdlib.min d max_domains) in
+  let regs = Array.init d (fun _ -> Metrics.create ()) in
   let t =
     { n_domains = d;
       mutex = Mutex.create ();
@@ -101,7 +115,15 @@ let create ?domains () =
       failure = None;
       stopped = false;
       workers = [];
-      busy = Atomic.make false }
+      busy = Atomic.make false;
+      regs;
+      c_calls = Metrics.counter regs.(0) "pool.calls";
+      c_items = Metrics.counter regs.(0) "pool.items";
+      h_round =
+        Metrics.histogram regs.(0) "pool.items_per_call"
+          ~bounds:[| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096 |];
+      c_worker_items =
+        Array.map (fun r -> Metrics.counter r "pool.worker_items") regs }
   in
   if d > 1 then begin
     t.workers <-
@@ -121,73 +143,116 @@ let run_inline t f =
     f i
   done
 
+(* A genuine barrier round; the caller must hold the [busy] flag. *)
+let run_round t f =
+  Mutex.lock t.mutex;
+  if t.stopped then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.run: pool has been shut down"
+  end;
+  t.job <- Some f;
+  t.failure <- None;
+  t.pending <- t.n_domains - 1;
+  t.round <- t.round + 1;
+  Condition.broadcast t.start;
+  Mutex.unlock t.mutex;
+  (* The calling domain is worker 0. *)
+  let mine = match f 0 with () -> None | exception e -> Some e in
+  Mutex.lock t.mutex;
+  while t.pending > 0 do
+    Condition.wait t.finished t.mutex
+  done;
+  t.job <- None;
+  let fail = match mine with Some _ -> mine | None -> t.failure in
+  t.failure <- None;
+  Mutex.unlock t.mutex;
+  match fail with Some e -> raise e | None -> ()
+
+(* Take the pool for a top-level combinator call.  A failed acquisition
+   means re-entrant or concurrent use: a job body (possibly on a worker
+   domain) started another pool operation — e.g. a simulation running
+   inside a chaos-campaign worker reaches the configuration pipeline's own
+   parallel entry points.  Waking the parked workers again would corrupt
+   the round bookkeeping, so the caller degrades to the serial path, which
+   is bit-identical by construction.  One-domain pools take the flag too,
+   purely so the counted-once metrics semantics match every domain
+   count. *)
+let acquire t = Atomic.compare_and_set t.busy false true
+
+let count_call t ~owner n =
+  if owner then begin
+    Metrics.incr t.c_calls;
+    Metrics.add t.c_items n;
+    Metrics.observe t.h_round n
+  end
+
 let run t f =
-  if t.n_domains = 1 then f 0
-  else if not (Atomic.compare_and_set t.busy false true) then
-    (* Re-entrant or concurrent use: a job body (possibly on a worker
-       domain) started another pool operation — e.g. a simulation running
-       inside a chaos-campaign worker reaches the configuration pipeline's
-       own parallel entry points.  Waking the parked workers again would
-       corrupt the round bookkeeping, so degrade to the serial path, which
-       is bit-identical by construction. *)
-    run_inline t f
+  if t.n_domains = 1 then begin
+    let owner = acquire t in
+    Fun.protect
+      ~finally:(fun () -> if owner then Atomic.set t.busy false)
+      (fun () -> f 0)
+  end
+  else if not (acquire t) then run_inline t f
   else
     Fun.protect
       ~finally:(fun () -> Atomic.set t.busy false)
-      (fun () ->
-        Mutex.lock t.mutex;
-        if t.stopped then begin
-          Mutex.unlock t.mutex;
-          invalid_arg "Pool.run: pool has been shut down"
-        end;
-        t.job <- Some f;
-        t.failure <- None;
-        t.pending <- t.n_domains - 1;
-        t.round <- t.round + 1;
-        Condition.broadcast t.start;
-        Mutex.unlock t.mutex;
-        (* The calling domain is worker 0. *)
-        let mine = match f 0 with () -> None | exception e -> Some e in
-        Mutex.lock t.mutex;
-        while t.pending > 0 do
-          Condition.wait t.finished t.mutex
-        done;
-        t.job <- None;
-        let fail = match mine with Some _ -> mine | None -> t.failure in
-        t.failure <- None;
-        Mutex.unlock t.mutex;
-        match fail with Some e -> raise e | None -> ())
+      (fun () -> run_round t f)
 
 let parallel_for ?chunk t ~n f =
   if n > 0 then begin
-    if t.n_domains = 1 || n = 1 then
-      for i = 0 to n - 1 do
-        f i
-      done
-    else begin
-      let chunk =
-        match chunk with
-        | Some c -> Stdlib.max 1 c
-        | None -> Stdlib.max 1 (n / (4 * t.n_domains))
-      in
-      let next = Atomic.make 0 in
-      run t (fun _ ->
-          let continue = ref true in
-          while !continue do
-            let lo = Atomic.fetch_and_add next chunk in
-            if lo >= n then continue := false
-            else
-              for i = lo to Stdlib.min n (lo + chunk) - 1 do
-                f i
-              done
-          done)
-    end
+    let owner = acquire t in
+    Fun.protect
+      ~finally:(fun () -> if owner then Atomic.set t.busy false)
+      (fun () ->
+        count_call t ~owner n;
+        if t.n_domains = 1 || n = 1 then begin
+          if owner then Metrics.add t.c_worker_items.(0) n;
+          for i = 0 to n - 1 do
+            f i
+          done
+        end
+        else begin
+          let chunk =
+            match chunk with
+            | Some c -> Stdlib.max 1 c
+            | None -> Stdlib.max 1 (n / (4 * t.n_domains))
+          in
+          let next = Atomic.make 0 in
+          let body w =
+            let continue = ref true in
+            while !continue do
+              let lo = Atomic.fetch_and_add next chunk in
+              if lo >= n then continue := false
+              else begin
+                let hi = Stdlib.min n (lo + chunk) - 1 in
+                (* Worker [w]'s registry is written by one domain at a
+                   time (inline execution walks the indices serially), so
+                   this is race-free; the merged worker totals sum to [n]
+                   whatever the chunking. *)
+                if owner then Metrics.add t.c_worker_items.(w) (hi - lo + 1);
+                for i = lo to hi do
+                  f i
+                done
+              end
+            done
+          in
+          if owner then run_round t body else run_inline t body
+        end)
   end
 
 let parallel_map_array t f a =
   let n = Array.length a in
   if n = 0 then [||]
-  else if t.n_domains = 1 || n = 1 then Array.map f a
+  else if t.n_domains = 1 || n = 1 then begin
+    let owner = acquire t in
+    Fun.protect
+      ~finally:(fun () -> if owner then Atomic.set t.busy false)
+      (fun () ->
+        count_call t ~owner n;
+        if owner then Metrics.add t.c_worker_items.(0) n;
+        Array.map f a)
+  end
   else begin
     let out = Array.make n None in
     parallel_for t ~n (fun i -> out.(i) <- Some (f a.(i)));
@@ -206,3 +271,12 @@ let default () =
     let p = create () in
     default_pool := Some p;
     p
+
+(* --- Telemetry --- *)
+
+let set_metrics_enabled t v = Array.iter (fun r -> Metrics.set_enabled r v) t.regs
+
+let metrics_enabled t = Metrics.enabled t.regs.(0)
+
+let metrics_snapshot t =
+  Metrics.merge (Array.to_list (Array.map Metrics.snapshot t.regs))

@@ -53,3 +53,28 @@ val shutdown : t -> unit
 val default : unit -> t
 (** The process-wide shared pool, created on first use with [create ()]
     (honouring [AUTONET_DOMAINS]). *)
+
+(** {1 Telemetry}
+
+    Each worker index owns a private {!Autonet_telemetry.Metrics}
+    registry, so counting never synchronizes; {!metrics_snapshot} merges
+    them.  Only top-level combinator calls (the caller that wins the
+    pool's busy flag) are counted — nested and concurrent calls run
+    uncounted on every path — so the merged totals are identical for any
+    domain count:
+
+    - ["pool.calls"]: top-level [parallel_for]/[parallel_map_array] calls;
+    - ["pool.items"]: total items those calls covered;
+    - ["pool.items_per_call"]: histogram of the per-call item count;
+    - ["pool.worker_items"]: items executed by each worker (merged: the
+      same total as ["pool.items"]; per-registry: the load balance). *)
+
+val set_metrics_enabled : t -> bool -> unit
+(** Metrics are disabled at creation (instruments cost a load and a
+    branch). *)
+
+val metrics_enabled : t -> bool
+
+val metrics_snapshot : t -> Autonet_telemetry.Metrics.snapshot
+(** The per-worker registries merged; deterministic for a deterministic
+    workload, whatever the domain count. *)

@@ -7,6 +7,7 @@ type t = {
   queue : handle Pqueue.t;
   mutable next_seq : int;
   mutable executed : int;
+  mutable max_queue : int;
   live_count : int ref;
 }
 
@@ -15,6 +16,7 @@ let create () =
     queue = Pqueue.create ();
     next_seq = 0;
     executed = 0;
+    max_queue = 0;
     live_count = ref 0 }
 
 let now t = t.clock
@@ -28,6 +30,8 @@ let schedule_at t ~time f =
   Pqueue.add t.queue ~time ~seq:t.next_seq h;
   t.next_seq <- t.next_seq + 1;
   incr t.live_count;
+  let len = Pqueue.length t.queue in
+  if len > t.max_queue then t.max_queue <- len;
   h
 
 let schedule t ~delay f =
@@ -83,5 +87,7 @@ let run ?until ?max_events t =
 let pending t = !(t.live_count)
 
 let queue_length t = Pqueue.length t.queue
+
+let max_queue_length t = t.max_queue
 
 let events_executed t = t.executed

@@ -46,4 +46,8 @@ val queue_length : t -> int
     removal at the head.  [queue_length t - pending t] is the cancelled
     backlog; chaos-campaign diagnostics watch both for handle leaks. *)
 
+val max_queue_length : t -> int
+(** High-water mark of {!queue_length} over the run; the telemetry
+    snapshot exports it as a gauge. *)
+
 val events_executed : t -> int

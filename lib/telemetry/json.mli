@@ -1,0 +1,37 @@
+(** A minimal JSON tree: just enough to emit Chrome [trace_event] files
+    and metric snapshots, and to re-parse them for validation — the
+    container ships no JSON library, and the telemetry smoke check must
+    prove that what we emitted actually parses. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering.  Object member order is preserved, so a
+    deterministically-built tree renders deterministically.  Strings are
+    escaped per RFC 8259; non-finite floats render as [null]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented rendering for humans. *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset {!to_string} emits (which is all of
+    JSON except exponents with huge magnitudes and [\u] surrogate
+    pairs, kept as-is in the decoded string).  Numbers without [.], [e]
+    or [E] decode as [Int].  The error string carries a byte offset. *)
+
+(** {1 Accessors} (total: all return [None]/[[]] on shape mismatch) *)
+
+val member : string -> t -> t option
+val to_list : t -> t list
+val to_int : t -> int option
+val to_float : t -> float option
+(** [Int]s widen to float. *)
+
+val to_str : t -> string option

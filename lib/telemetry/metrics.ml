@@ -1,0 +1,186 @@
+type hrec = {
+  h_bounds : int array;
+  h_counts : int array; (* length bounds + 1; overflow last *)
+  mutable h_sum : int;
+  mutable h_count : int;
+}
+
+type item = C of int ref | G of int ref | H of hrec
+
+type t = { on : bool ref; items : (string, item) Hashtbl.t }
+
+let create ?(enabled = false) () = { on = ref enabled; items = Hashtbl.create 32 }
+
+let enabled t = !(t.on)
+let set_enabled t v = t.on := v
+
+type counter = { c_on : bool ref; c_cell : int ref }
+
+let counter t name =
+  match Hashtbl.find_opt t.items name with
+  | Some (C cell) -> { c_on = t.on; c_cell = cell }
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+  | None ->
+    let cell = ref 0 in
+    Hashtbl.add t.items name (C cell);
+    { c_on = t.on; c_cell = cell }
+
+let incr c = if !(c.c_on) then c.c_cell := !(c.c_cell) + 1
+let add c n = if !(c.c_on) then c.c_cell := !(c.c_cell) + n
+
+type gauge = { g_on : bool ref; g_cell : int ref }
+
+let gauge t name =
+  match Hashtbl.find_opt t.items name with
+  | Some (G cell) -> { g_on = t.on; g_cell = cell }
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+  | None ->
+    let cell = ref 0 in
+    Hashtbl.add t.items name (G cell);
+    { g_on = t.on; g_cell = cell }
+
+let set_gauge g v = if !(g.g_on) then g.g_cell := v
+let max_gauge g v = if !(g.g_on) && v > !(g.g_cell) then g.g_cell := v
+
+type histogram = { hg_on : bool ref; hg : hrec }
+
+let valid_bounds b =
+  Array.length b > 0
+  &&
+  let ok = ref true in
+  for i = 1 to Array.length b - 1 do
+    if b.(i) <= b.(i - 1) then ok := false
+  done;
+  !ok
+
+let histogram t name ~bounds =
+  match Hashtbl.find_opt t.items name with
+  | Some (H h) ->
+    if h.h_bounds <> bounds then
+      invalid_arg ("Metrics.histogram: " ^ name ^ " bounds differ");
+    { hg_on = t.on; hg = h }
+  | Some _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+  | None ->
+    if not (valid_bounds bounds) then
+      invalid_arg ("Metrics.histogram: " ^ name ^ ": bounds must be strictly increasing");
+    let h =
+      { h_bounds = Array.copy bounds;
+        h_counts = Array.make (Array.length bounds + 1) 0;
+        h_sum = 0;
+        h_count = 0 }
+    in
+    Hashtbl.add t.items name (H h);
+    { hg_on = t.on; hg = h }
+
+let bucket_of bounds v =
+  (* First bound >= v; linear scan — bound arrays are short. *)
+  let n = Array.length bounds in
+  let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe hg v =
+  if !(hg.hg_on) then begin
+    let h = hg.hg in
+    let b = bucket_of h.h_bounds v in
+    h.h_counts.(b) <- h.h_counts.(b) + 1;
+    h.h_sum <- h.h_sum + v;
+    h.h_count <- h.h_count + 1
+  end
+
+(* --- Snapshots --- *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of {
+      bounds : int array;
+      counts : int array;
+      sum : int;
+      count : int;
+    }
+
+type snapshot = (string * value) list
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name item acc ->
+      let v =
+        match item with
+        | C cell -> Counter !cell
+        | G cell -> Gauge !cell
+        | H h ->
+          Histogram
+            { bounds = Array.copy h.h_bounds;
+              counts = Array.copy h.h_counts;
+              sum = h.h_sum;
+              count = h.h_count }
+      in
+      (name, v) :: acc)
+    t.items []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge_values name a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y -> Gauge (x + y)
+  | Histogram x, Histogram y ->
+    if x.bounds <> y.bounds then
+      invalid_arg ("Metrics.merge: " ^ name ^ ": histogram bounds differ");
+    Histogram
+      { bounds = x.bounds;
+        counts = Array.mapi (fun i c -> c + y.counts.(i)) x.counts;
+        sum = x.sum + y.sum;
+        count = x.count + y.count }
+  | _ -> invalid_arg ("Metrics.merge: " ^ name ^ ": kinds differ")
+
+let merge snapshots =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (List.iter (fun (name, v) ->
+         match Hashtbl.find_opt tbl name with
+         | None -> Hashtbl.replace tbl name v
+         | Some prev -> Hashtbl.replace tbl name (merge_values name prev v)))
+    snapshots;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let render snap =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (name, v) ->
+      (match v with
+      | Counter n -> Printf.bprintf b "%-32s %d" name n
+      | Gauge n -> Printf.bprintf b "%-32s %d (gauge)" name n
+      | Histogram { bounds; counts; sum; count } ->
+        Printf.bprintf b "%-32s count=%d sum=%d [" name count sum;
+        Array.iteri
+          (fun i c ->
+            if i > 0 then Buffer.add_char b ' ';
+            if i < Array.length bounds then
+              Printf.bprintf b "<=%d:%d" bounds.(i) c
+            else Printf.bprintf b ">:%d" c)
+          counts;
+        Buffer.add_char b ']');
+      Buffer.add_char b '\n')
+    snap;
+  Buffer.contents b
+
+let to_json snap =
+  Json.Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | Counter n -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+           | Gauge n -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Int n) ]
+           | Histogram { bounds; counts; sum; count } ->
+             Json.Obj
+               [ ("type", Json.String "histogram");
+                 ("count", Json.Int count);
+                 ("sum", Json.Int sum);
+                 ("bounds", Json.List (Array.to_list (Array.map (fun i -> Json.Int i) bounds)));
+                 ("counts", Json.List (Array.to_list (Array.map (fun i -> Json.Int i) counts)))
+               ] ))
+       snap)
+
+let find snap name = List.assoc_opt name snap

@@ -1,0 +1,85 @@
+(** The metrics registry: named counters, gauges and fixed-bucket
+    histograms with near-zero cost when disabled.
+
+    Every instrument is backed by plain [int] cells guarded by one shared
+    [bool ref] — a disabled increment is a load and a branch, no closure
+    and no allocation, cheap enough to leave in the simulator's per-packet
+    paths.  Snapshots are deterministic (instruments sorted by name), and
+    {!merge} combines snapshots from several registries — e.g. the
+    per-domain registries of a {!Autonet_parallel.Pool} — into one
+    deterministic view whatever the domain count.
+
+    Registries are single-domain: instruments must only be bumped from the
+    domain that owns the registry (the pool gives each worker its own and
+    merges afterwards). *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** [enabled] defaults to [false]: instruments exist but count nothing
+    until {!set_enabled}. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+(** {1 Instruments}
+
+    [counter]/[gauge]/[histogram] return the existing instrument when the
+    name is already registered, and raise [Invalid_argument] if it is
+    registered as a different kind (or, for histograms, with different
+    bucket bounds). *)
+
+type counter
+
+val counter : t -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set_gauge : gauge -> int -> unit
+(** Gauges record the last value set (even while disabled-created gauges
+    stay 0: a set on a disabled registry is a no-op). *)
+
+val max_gauge : gauge -> int -> unit
+(** Keep the maximum of the values offered. *)
+
+type histogram
+
+val histogram : t -> string -> bounds:int array -> histogram
+(** [bounds] are inclusive upper bounds of the finite buckets, strictly
+    increasing; one overflow bucket is added past the last bound. *)
+
+val observe : histogram -> int -> unit
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of {
+      bounds : int array;
+      counts : int array;  (** [Array.length bounds + 1], overflow last *)
+      sum : int;
+      count : int;
+    }
+
+type snapshot = (string * value) list
+(** Sorted by name: two registries that counted the same things render
+    byte-identically. *)
+
+val snapshot : t -> snapshot
+
+val merge : snapshot list -> snapshot
+(** Union by name: counters and histogram buckets add, gauges add (a
+    merged gauge reads as the total across registries).  Raises
+    [Invalid_argument] if a name appears with incompatible kinds or
+    histogram bounds. *)
+
+val render : snapshot -> string
+(** One line per instrument, deterministic, newline-terminated. *)
+
+val to_json : snapshot -> Json.t
+
+val find : snapshot -> string -> value option

@@ -1,0 +1,94 @@
+(** Reconfiguration phase timelines.
+
+    A timeline collects {!mark}s — timestamped milestones of an epoch's
+    progress, emitted from `Reconfig` and the network harness — and
+    derives from them a per-epoch breakdown of the paper's
+    reconfiguration pipeline: monitor detection, spanning-tree
+    construction, termination detection, report accumulation, address
+    assignment, table flood and table load.  The derived phases are
+    contiguous, so they nest inside the epoch span and their durations
+    sum exactly to the epoch duration.
+
+    The breakdown exports as a Chrome [trace_event] JSON file (open in
+    chrome://tracing or Perfetto) and as an {!Autonet_analysis.Report}
+    table. *)
+
+type kind =
+  | Detection  (** the harness noticed/injected the triggering fault;
+                   recorded before the new epoch number exists, so the
+                   mark's epoch is ignored and it is attributed to the
+                   next epoch to start *)
+  | Epoch_start  (** a switch entered the epoch (`Reconfig.start_epoch`) *)
+  | Tree_stable  (** a switch's subtree became stable (may repeat if the
+                     tree is perturbed mid-epoch; derivation uses the
+                     last occurrence) *)
+  | Reports_closed  (** the root saw a reference-closed topology report —
+                        the report accumulation endpoint *)
+  | Load_begin  (** a switch received its table spec (`cb_load_tables`) *)
+  | Configured  (** a switch finished the destructive reload *)
+
+val kind_to_string : kind -> string
+
+type mark = {
+  m_time : Autonet_sim.Time.t;
+  m_epoch : int64;  (** [-1L] when unknown at mark time (Detection) *)
+  m_tid : int;  (** switch number, or [-1] for network-level marks *)
+  m_kind : kind;
+}
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** Disabled by default; a disabled {!mark} is a load and a branch. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val mark : t -> time:Autonet_sim.Time.t -> epoch:int64 -> tid:int -> kind -> unit
+
+val marks : t -> mark list
+(** In the order recorded (chronological: sim time never runs backward). *)
+
+(** {1 Phase derivation} *)
+
+val phase_names : string list
+(** In pipeline order: [detection; spanning_tree; termination;
+    accumulation; assignment; flood; table_load]. *)
+
+type phase = {
+  ph_name : string;
+  ph_start : Autonet_sim.Time.t;
+  ph_stop : Autonet_sim.Time.t;
+}
+
+type epoch_spans = {
+  es_epoch : int64;
+  es_start : Autonet_sim.Time.t;
+  es_stop : Autonet_sim.Time.t;
+  es_complete : bool;
+      (** The epoch ran to configuration: it has an [Epoch_start], a
+          [Reports_closed] and a [Configured] mark.  Incomplete epochs
+          (superseded mid-flight by a newer one) carry no phases. *)
+  es_phases : phase list;  (** contiguous; sums to [es_stop - es_start] *)
+}
+
+val epochs : t -> epoch_spans list
+(** Ascending by epoch number. *)
+
+val phase_report : t -> Autonet_analysis.Report.t
+(** One row per complete epoch: each phase's duration and the total. *)
+
+(** {1 Chrome trace export} *)
+
+val to_trace_json : t -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}].  Epoch and phase
+    spans are complete ("ph":"X") events on tid 0; per-switch marks are
+    instants on tid [switch+1]; [ts]/[dur] are microseconds (floats) and
+    every span's [args] carries the exact nanosecond values. *)
+
+val validate_trace : Json.t -> (unit, string) result
+(** The smoke check: every phase span must lie inside its epoch's span,
+    phases of an epoch must be contiguous and in pipeline order, and
+    their nanosecond durations must sum to the epoch's duration.
+    Requires at least one epoch span.  Validation uses the exact [args]
+    nanosecond fields, not the rounded microsecond [ts]/[dur]. *)

@@ -285,33 +285,68 @@ let test_report_size_grows_message () =
 
 let test_event_log_basic () =
   let l = Event_log.create ~clock_skew:(Time.us 50) () in
-  Event_log.log l ~now:(Time.ms 1) "one";
+  Event_log.log l ~now:(Time.ms 1) (Event.Generic "one");
   Event_log.logf l ~now:(Time.ms 2) "two %d" 2;
   check_int "length" 2 (Event_log.length l);
+  check_int "capacity" 512 (Event_log.capacity l);
   match Event_log.entries l with
   | [ e1; e2 ] ->
     check_int "skewed timestamp" (Time.ms 1 + Time.us 50) e1.Event_log.local_time;
-    Alcotest.(check string) "fmt" "two 2" e2.Event_log.message
+    Alcotest.(check string) "fmt" "two 2" (Event_log.message e2)
   | _ -> Alcotest.fail "expected 2 entries"
 
 let test_event_log_wraps () =
   let l = Event_log.create ~capacity:4 ~clock_skew:Time.zero () in
   for i = 1 to 10 do
-    Event_log.log l ~now:(Time.ms i) (string_of_int i)
+    Event_log.logf l ~now:(Time.ms i) "%d" i
   done;
-  check_int "capacity" 4 (Event_log.length l);
+  check_int "capacity" 4 (Event_log.capacity l);
+  check_int "length" 4 (Event_log.length l);
   check_int "total" 10 (Event_log.total_logged l);
   Alcotest.(check (list string)) "last four" [ "7"; "8"; "9"; "10" ]
-    (List.map (fun e -> e.Event_log.message) (Event_log.entries l))
+    (List.map Event_log.message (Event_log.entries l))
+
+(* The circular buffer's boundary: exactly at capacity nothing is lost
+   yet; one entry past it evicts exactly the oldest; a full second lap
+   retains the newest [capacity] with the counters still exact. *)
+let test_event_log_boundaries () =
+  let cap = 8 in
+  let msgs l = List.map Event_log.message (Event_log.entries l) in
+  let expect_range lo hi = List.init (hi - lo + 1) (fun i -> string_of_int (lo + i)) in
+  let filled n =
+    let l = Event_log.create ~capacity:cap ~clock_skew:Time.zero () in
+    for i = 1 to n do
+      Event_log.logf l ~now:(Time.ms i) "%d" i
+    done;
+    l
+  in
+  (* Exactly at capacity. *)
+  let l = filled cap in
+  check_int "at cap: length" cap (Event_log.length l);
+  check_int "at cap: total" cap (Event_log.total_logged l);
+  Alcotest.(check (list string)) "at cap: all retained"
+    (expect_range 1 cap) (msgs l);
+  (* One past capacity: the oldest entry (and only it) is gone. *)
+  let l = filled (cap + 1) in
+  check_int "cap+1: length" cap (Event_log.length l);
+  check_int "cap+1: total" (cap + 1) (Event_log.total_logged l);
+  Alcotest.(check (list string)) "cap+1: oldest evicted"
+    (expect_range 2 (cap + 1)) (msgs l);
+  (* A full second lap. *)
+  let l = filled (2 * cap) in
+  check_int "2*cap: length" cap (Event_log.length l);
+  check_int "2*cap: total" (2 * cap) (Event_log.total_logged l);
+  Alcotest.(check (list string)) "2*cap: newest lap retained"
+    (expect_range (cap + 1) (2 * cap)) (msgs l)
 
 let test_event_log_merge_normalizes () =
   (* Two switches with different skews log the same instants; the merged
      log must interleave by true time. *)
   let a = Event_log.create ~clock_skew:(Time.ms 5) () in
   let b = Event_log.create ~clock_skew:(Time.ms (-3)) () in
-  Event_log.log a ~now:(Time.ms 10) "a1";
-  Event_log.log b ~now:(Time.ms 11) "b1";
-  Event_log.log a ~now:(Time.ms 12) "a2";
+  Event_log.log a ~now:(Time.ms 10) (Event.Generic "a1");
+  Event_log.log b ~now:(Time.ms 11) (Event.Generic "b1");
+  Event_log.log a ~now:(Time.ms 12) (Event.Generic "a2");
   let merged = Event_log.merge [ ("a", a); ("b", b) ] in
   Alcotest.(check (list string)) "order" [ "a1"; "b1"; "a2" ]
     (List.map (fun (_, _, m) -> m) merged);
@@ -327,8 +362,8 @@ let test_event_log_merge_skew_reorders () =
      fix. *)
   let a = Event_log.create ~clock_skew:(Time.ms 50) () in
   let b = Event_log.create ~clock_skew:(Time.ms (-50)) () in
-  Event_log.log a ~now:(Time.ms 10) "early";
-  Event_log.log b ~now:(Time.ms 30) "late";
+  Event_log.log a ~now:(Time.ms 10) (Event.Generic "early");
+  Event_log.log b ~now:(Time.ms 30) (Event.Generic "late");
   (match Event_log.entries a, Event_log.entries b with
   | [ ea ], [ eb ] ->
     check_bool "raw order inverted" true
@@ -343,9 +378,9 @@ let test_event_log_merge_ties_stable () =
   let a = Event_log.create ~clock_skew:(Time.ms 7) () in
   let b = Event_log.create ~clock_skew:(Time.ms (-2)) () in
   let c = Event_log.create ~clock_skew:Time.zero () in
-  Event_log.log a ~now:(Time.ms 10) "a";
-  Event_log.log b ~now:(Time.ms 10) "b";
-  Event_log.log c ~now:(Time.ms 10) "c";
+  Event_log.log a ~now:(Time.ms 10) (Event.Generic "a");
+  Event_log.log b ~now:(Time.ms 10) (Event.Generic "b");
+  Event_log.log c ~now:(Time.ms 10) (Event.Generic "c");
   let names logs = List.map (fun (_, n, _) -> n) (Event_log.merge logs) in
   Alcotest.(check (list string)) "list order" [ "a"; "b"; "c" ]
     (names [ ("a", a); ("b", b); ("c", c) ]);
@@ -395,6 +430,8 @@ let () =
       ( "event_log",
         [ Alcotest.test_case "basic" `Quick test_event_log_basic;
           Alcotest.test_case "wraps" `Quick test_event_log_wraps;
+          Alcotest.test_case "wrap boundaries" `Quick
+            test_event_log_boundaries;
           Alcotest.test_case "merge normalizes" `Quick
             test_event_log_merge_normalizes;
           Alcotest.test_case "merge undoes skew inversion" `Quick

@@ -167,6 +167,20 @@ let test_stats_histogram () =
     check_int "high bucket" 2 c2
   | _ -> Alcotest.fail "two buckets expected"
 
+let test_stats_histogram_degenerate () =
+  (* Every sample equal: one zero-width bucket holding all of them, not
+     [buckets] buckets with an invented 1.0 width. *)
+  (match Stats.histogram ~buckets:5 [ 4.2; 4.2; 4.2 ] with
+  | [ (lo, hi, c) ] ->
+    Alcotest.(check (float 1e-9)) "lo" 4.2 lo;
+    Alcotest.(check (float 1e-9)) "hi" 4.2 hi;
+    check_int "all samples" 3 c
+  | h -> Alcotest.fail (Printf.sprintf "%d buckets, expected 1" (List.length h)));
+  (match Stats.histogram ~buckets:3 [ 0.0 ] with
+  | [ (_, _, c) ] -> check_int "singleton" 1 c
+  | h -> Alcotest.fail (Printf.sprintf "%d buckets, expected 1" (List.length h)));
+  check_bool "empty still empty" true (Stats.histogram ~buckets:4 [] = [])
+
 let test_report_render () =
   let r = Report.create ~title:"T" ~columns:[ "a"; "bb" ] in
   Report.add_row r [ "1"; "2" ];
@@ -204,4 +218,6 @@ let () =
       ( "stats",
         [ Alcotest.test_case "basics" `Quick test_stats_basics;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "histogram degenerate" `Quick
+            test_stats_histogram_degenerate;
           Alcotest.test_case "report render" `Quick test_report_render ] ) ]

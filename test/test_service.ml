@@ -103,7 +103,7 @@ let test_srp_get_state_roundtrip () =
   let got =
     List.exists
       (fun e ->
-        let m = e.Event_log.message in
+        let m = Event_log.message e in
         String.length m > 13 && String.sub m 0 13 = "srp response:")
       entries
   in
@@ -123,7 +123,7 @@ let test_srp_get_topology () =
   let entries = Event_log.entries (AP.event_log (N.autopilot net 0)) in
   check_bool "topology of 3 switches" true
     (List.exists
-       (fun e -> e.Event_log.message = "srp response: topology of 3 switches")
+       (fun e -> Event_log.message e = "srp response: topology of 3 switches")
        entries)
 
 (* ------------------------------------------------------------------ *)

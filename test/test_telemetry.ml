@@ -1,0 +1,392 @@
+(* Telemetry subsystem tests: the metrics registry (counting, snapshots,
+   merge), the JSON codec, the phase-timeline derivation and trace
+   export, and the determinism contract — pool metric snapshots after a
+   pooled table build must be byte-identical for any domain count. *)
+
+open Autonet_core
+module B = Autonet_topo.Builders
+module Pool = Autonet_parallel.Pool
+module Metrics = Autonet_telemetry.Metrics
+module Timeline = Autonet_telemetry.Timeline
+module Json = Autonet_telemetry.Json
+module Time = Autonet_sim.Time
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_metrics_counting () =
+  let m = Metrics.create ~enabled:true () in
+  let c = Metrics.counter m "c" in
+  let g = Metrics.gauge m "g" in
+  let h = Metrics.histogram m "h" ~bounds:[| 10; 100 |] in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Metrics.set_gauge g 7;
+  Metrics.set_gauge g 3;
+  Metrics.max_gauge g 9;
+  Metrics.max_gauge g 2;
+  Metrics.observe h 5;
+  Metrics.observe h 10;
+  Metrics.observe h 11;
+  Metrics.observe h 1000;
+  let s = Metrics.snapshot m in
+  (match Metrics.find s "c" with
+  | Some (Metrics.Counter v) -> check_int "counter" 5 v
+  | _ -> Alcotest.fail "c missing");
+  (match Metrics.find s "g" with
+  | Some (Metrics.Gauge v) -> check_int "gauge max" 9 v
+  | _ -> Alcotest.fail "g missing");
+  match Metrics.find s "h" with
+  | Some (Metrics.Histogram { bounds; counts; sum; count }) ->
+    check_int "bounds" 2 (Array.length bounds);
+    check_int "bucket <=10" 2 counts.(0);
+    check_int "bucket <=100" 1 counts.(1);
+    check_int "overflow" 1 counts.(2);
+    check_int "sum" (5 + 10 + 11 + 1000) sum;
+    check_int "count" 4 count
+  | _ -> Alcotest.fail "h missing"
+
+let test_metrics_disabled_counts_nothing () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c" in
+  let h = Metrics.histogram m "h" ~bounds:[| 1 |] in
+  Metrics.incr c;
+  Metrics.add c 100;
+  Metrics.observe h 5;
+  (match Metrics.find (Metrics.snapshot m) "c" with
+  | Some (Metrics.Counter v) -> check_int "still zero" 0 v
+  | _ -> Alcotest.fail "c missing");
+  (* Flipping the shared switch makes the same handles live. *)
+  Metrics.set_enabled m true;
+  Metrics.incr c;
+  match Metrics.find (Metrics.snapshot m) "c" with
+  | Some (Metrics.Counter v) -> check_int "counts once enabled" 1 v
+  | _ -> Alcotest.fail "c missing"
+
+let test_metrics_snapshot_sorted_and_stable () =
+  let m = Metrics.create ~enabled:true () in
+  ignore (Metrics.counter m "zebra");
+  ignore (Metrics.gauge m "alpha");
+  ignore (Metrics.counter m "middle");
+  let names = List.map fst (Metrics.snapshot m) in
+  Alcotest.(check (list string))
+    "sorted by name" [ "alpha"; "middle"; "zebra" ] names;
+  check_string "render deterministic"
+    (Metrics.render (Metrics.snapshot m))
+    (Metrics.render (Metrics.snapshot m))
+
+let test_metrics_kind_clash () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  (try
+     ignore (Metrics.gauge m "x");
+     Alcotest.fail "kind clash accepted"
+   with Invalid_argument _ -> ());
+  ignore (Metrics.histogram m "h" ~bounds:[| 1; 2 |]);
+  try
+    ignore (Metrics.histogram m "h" ~bounds:[| 1; 3 |]);
+    Alcotest.fail "bounds clash accepted"
+  with Invalid_argument _ -> ()
+
+let test_metrics_merge () =
+  let mk () =
+    let m = Metrics.create ~enabled:true () in
+    let c = Metrics.counter m "c" in
+    let g = Metrics.gauge m "g" in
+    let h = Metrics.histogram m "h" ~bounds:[| 10 |] in
+    (m, c, g, h)
+  in
+  let m1, c1, g1, h1 = mk () in
+  let m2, c2, g2, h2 = mk () in
+  Metrics.add c1 3;
+  Metrics.add c2 4;
+  Metrics.set_gauge g1 5;
+  Metrics.set_gauge g2 6;
+  Metrics.observe h1 1;
+  Metrics.observe h2 100;
+  let merged = Metrics.merge [ Metrics.snapshot m1; Metrics.snapshot m2 ] in
+  (match Metrics.find merged "c" with
+  | Some (Metrics.Counter v) -> check_int "counters add" 7 v
+  | _ -> Alcotest.fail "c missing");
+  (match Metrics.find merged "g" with
+  | Some (Metrics.Gauge v) -> check_int "gauges add" 11 v
+  | _ -> Alcotest.fail "g missing");
+  (match Metrics.find merged "h" with
+  | Some (Metrics.Histogram { counts; sum; count; _ }) ->
+    check_int "bucket" 1 counts.(0);
+    check_int "overflow" 1 counts.(1);
+    check_int "sum" 101 sum;
+    check_int "count" 2 count
+  | _ -> Alcotest.fail "h missing");
+  (* Incompatible kinds refuse to merge. *)
+  let m3 = Metrics.create ~enabled:true () in
+  ignore (Metrics.gauge m3 "c");
+  try
+    ignore (Metrics.merge [ Metrics.snapshot m1; Metrics.snapshot m3 ]);
+    Alcotest.fail "kind mismatch merged"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec *)
+
+let test_json_roundtrip () =
+  let t =
+    Json.Obj
+      [ ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("ints", Json.List [ Json.Int 0; Json.Int (-42); Json.Int 123456789 ]);
+        ("floats", Json.List [ Json.Float 1.5; Json.Float (-0.25) ]);
+        ("strings", Json.String "a\"b\\c\nd\te\r\x01f");
+        ("nested", Json.Obj [ ("empty_list", Json.List []);
+                              ("empty_obj", Json.Obj []) ]) ]
+  in
+  let s = Json.to_string t in
+  match Json.parse s with
+  | Error e -> Alcotest.fail ("did not parse: " ^ e)
+  | Ok t' ->
+    check_string "roundtrip" s (Json.to_string t');
+    check_bool "tree equal" true (t = t')
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S parsed" s))
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "[1] trailing";
+      "{\"a\" 1}" ]
+
+let test_json_accessors () =
+  match Json.parse "{\"a\": [1, 2.5, \"x\"], \"b\": {\"c\": 3}}" with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    check_int "member int" 3
+      (Option.get (Json.to_int (Option.get (Json.member "c" (Option.get (Json.member "b" t))))));
+    (match Json.member "a" t with
+    | Some l -> check_int "list len" 3 (List.length (Json.to_list l))
+    | None -> Alcotest.fail "a missing");
+    check_bool "missing member" true (Json.member "zzz" t = None)
+
+let test_metrics_to_json_parses () =
+  let m = Metrics.create ~enabled:true () in
+  Metrics.add (Metrics.counter m "c") 3;
+  Metrics.observe (Metrics.histogram m "h" ~bounds:[| 1; 2 |]) 5;
+  let s = Json.to_string (Metrics.to_json (Metrics.snapshot m)) in
+  match Json.parse s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("metrics JSON does not parse: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Timeline: phase derivation and trace export *)
+
+let mk_timeline marks =
+  let tl = Timeline.create ~enabled:true () in
+  List.iter
+    (fun (time, epoch, tid, kind) -> Timeline.mark tl ~time ~epoch ~tid kind)
+    marks;
+  tl
+
+let full_epoch_marks =
+  [ (Time.us 100, -1L, -1, Timeline.Detection);
+    (Time.us 200, 3L, 0, Timeline.Epoch_start);
+    (Time.us 210, 3L, 1, Timeline.Epoch_start);
+    (Time.us 220, 3L, 2, Timeline.Epoch_start);
+    (Time.us 300, 3L, 1, Timeline.Tree_stable);
+    (Time.us 310, 3L, 2, Timeline.Tree_stable);
+    (Time.us 350, 3L, 0, Timeline.Tree_stable);
+    (Time.us 400, 3L, 0, Timeline.Reports_closed);
+    (Time.us 450, 3L, 0, Timeline.Load_begin);
+    (Time.us 455, 3L, 1, Timeline.Load_begin);
+    (Time.us 460, 3L, 2, Timeline.Load_begin);
+    (Time.us 500, 3L, 1, Timeline.Configured);
+    (Time.us 505, 3L, 2, Timeline.Configured);
+    (Time.us 510, 3L, 0, Timeline.Configured) ]
+
+let test_timeline_disabled_records_nothing () =
+  let tl = Timeline.create () in
+  Timeline.mark tl ~time:Time.zero ~epoch:1L ~tid:0 Timeline.Epoch_start;
+  check_int "no marks" 0 (List.length (Timeline.marks tl))
+
+let test_timeline_phases () =
+  let tl = mk_timeline full_epoch_marks in
+  match Timeline.epochs tl with
+  | [ e ] ->
+    check_bool "complete" true e.Timeline.es_complete;
+    check_int "epoch" 3 (Int64.to_int e.Timeline.es_epoch);
+    check_int "starts at detection" (Time.us 100) e.Timeline.es_start;
+    check_int "stops at last configured" (Time.us 510) e.Timeline.es_stop;
+    Alcotest.(check (list string))
+      "phases in pipeline order" Timeline.phase_names
+      (List.map (fun p -> p.Timeline.ph_name) e.Timeline.es_phases);
+    (* Contiguous and summing exactly to the epoch duration. *)
+    let stop =
+      List.fold_left
+        (fun cursor p ->
+          check_int ("contiguous at " ^ p.Timeline.ph_name) cursor
+            p.Timeline.ph_start;
+          check_bool "ordered" true (p.Timeline.ph_stop >= p.Timeline.ph_start);
+          p.Timeline.ph_stop)
+        e.Timeline.es_start e.Timeline.es_phases
+    in
+    check_int "phases cover the epoch" e.Timeline.es_stop stop
+  | es -> Alcotest.fail (Printf.sprintf "expected 1 epoch, got %d" (List.length es))
+
+let test_timeline_incomplete_epoch () =
+  (* An epoch superseded mid-flight: no Reports_closed / Configured. *)
+  let tl =
+    mk_timeline
+      (full_epoch_marks
+      @ [ (Time.us 600, 4L, 0, Timeline.Epoch_start);
+          (Time.us 610, 4L, 1, Timeline.Epoch_start) ])
+  in
+  match Timeline.epochs tl with
+  | [ e3; e4 ] ->
+    check_bool "first complete" true e3.Timeline.es_complete;
+    check_bool "second incomplete" false e4.Timeline.es_complete;
+    check_int "no phases" 0 (List.length e4.Timeline.es_phases)
+  | es -> Alcotest.fail (Printf.sprintf "expected 2 epochs, got %d" (List.length es))
+
+let test_timeline_trace_validates () =
+  let tl = mk_timeline full_epoch_marks in
+  let s = Json.to_string (Timeline.to_trace_json tl) in
+  match Json.parse s with
+  | Error e -> Alcotest.fail ("trace does not parse: " ^ e)
+  | Ok j -> (
+    match Timeline.validate_trace j with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e)
+
+let test_timeline_validate_rejects_tampering () =
+  let tl = mk_timeline full_epoch_marks in
+  match Timeline.to_trace_json tl with
+  | Json.Obj fields ->
+    (* Drop one phase span: the contiguity/sum check must fail. *)
+    let tampered =
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             if k <> "traceEvents" then (k, v)
+             else
+               ( k,
+                 Json.List
+                   (List.filter
+                      (fun ev ->
+                        match Json.member "name" ev with
+                        | Some (Json.String "spanning_tree") -> false
+                        | _ -> true)
+                      (Json.to_list v)) ))
+           fields)
+    in
+    (match Timeline.validate_trace tampered with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "validated a trace with a missing phase")
+  | _ -> Alcotest.fail "trace is not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Pool metric determinism across domain counts *)
+
+let pooled_snapshot ~domains (t : B.t) =
+  let g = t.B.graph in
+  let tree = Spanning_tree.compute g ~member:0 in
+  let updown = Updown.orient g tree in
+  let routes = Routes.compute g tree updown in
+  let assignment =
+    Address_assign.make g
+      (List.map (fun s -> (s, 1)) (Spanning_tree.members tree))
+  in
+  let pool = Pool.create ~domains () in
+  Pool.set_metrics_enabled pool true;
+  let specs = Tables.build_all ~pool g tree updown routes assignment in
+  let result = Deadlock.check_tables ~pool g specs in
+  let render = Metrics.render (Pool.metrics_snapshot pool) in
+  Pool.shutdown pool;
+  (specs, result, render)
+
+(* The QCheck property of the determinism contract: whatever the
+   topology, the merged pool snapshot after a pooled table build and
+   deadlock check renders byte-identically at 1, 2 and 4 domains (and
+   the computed specs agree too). *)
+let pool_snapshot_qcheck =
+  QCheck.Test.make ~name:"pool snapshot identical for 1/2/4 domains" ~count:8
+    QCheck.(pair small_nat small_nat)
+    (fun (n0, seed) ->
+      (* Clamp rather than [int_range]: some QCheck shrinkers step outside
+         the range, and [random_connected] rejects n < 1. *)
+      let n = 4 + (n0 mod 9) in
+      let topo =
+        B.random_connected
+          ~rng:(Autonet_sim.Rng.create ~seed:(Int64.of_int (seed + 1)))
+          ~n ~extra_links:3 ()
+      in
+      let s1, r1, m1 = pooled_snapshot ~domains:1 topo in
+      let s2, r2, m2 = pooled_snapshot ~domains:2 topo in
+      let s4, r4, m4 = pooled_snapshot ~domains:4 topo in
+      s1 = s2 && s2 = s4 && r1 = r2 && r2 = r4 && m1 = m2 && m2 = m4)
+
+let test_pool_counts_consistent () =
+  let _, _, _ = pooled_snapshot ~domains:2 (B.src_service_lan ()) in
+  (* Re-run keeping the pool to inspect the snapshot structurally. *)
+  let t = B.src_service_lan () in
+  let g = t.B.graph in
+  let tree = Spanning_tree.compute g ~member:0 in
+  let updown = Updown.orient g tree in
+  let routes = Routes.compute g tree updown in
+  let assignment =
+    Address_assign.make g
+      (List.map (fun s -> (s, 1)) (Spanning_tree.members tree))
+  in
+  let pool = Pool.create ~domains:2 () in
+  Pool.set_metrics_enabled pool true;
+  ignore (Tables.build_all ~pool g tree updown routes assignment);
+  let s = Pool.metrics_snapshot pool in
+  let counter name =
+    match Metrics.find s name with
+    | Some (Metrics.Counter v) -> v
+    | _ -> Alcotest.fail (name ^ " missing")
+  in
+  check_bool "calls counted" true (counter "pool.calls" >= 1);
+  check_int "worker items sum to items" (counter "pool.items")
+    (counter "pool.worker_items");
+  (match Metrics.find s "pool.items_per_call" with
+  | Some (Metrics.Histogram { count; sum; _ }) ->
+    check_int "histogram count = calls" (counter "pool.calls") count;
+    check_int "histogram sum = items" (counter "pool.items") sum
+  | _ -> Alcotest.fail "pool.items_per_call missing");
+  Pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "telemetry"
+    [ ( "metrics",
+        [ Alcotest.test_case "counting" `Quick test_metrics_counting;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_metrics_disabled_counts_nothing;
+          Alcotest.test_case "snapshot sorted and stable" `Quick
+            test_metrics_snapshot_sorted_and_stable;
+          Alcotest.test_case "kind clash" `Quick test_metrics_kind_clash;
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
+          Alcotest.test_case "to_json parses" `Quick
+            test_metrics_to_json_parses ] );
+      ( "json",
+        [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors ] );
+      ( "timeline",
+        [ Alcotest.test_case "disabled records nothing" `Quick
+            test_timeline_disabled_records_nothing;
+          Alcotest.test_case "phase derivation" `Quick test_timeline_phases;
+          Alcotest.test_case "incomplete epoch" `Quick
+            test_timeline_incomplete_epoch;
+          Alcotest.test_case "trace validates" `Quick
+            test_timeline_trace_validates;
+          Alcotest.test_case "validation rejects tampering" `Quick
+            test_timeline_validate_rejects_tampering ] );
+      ( "pool",
+        [ QCheck_alcotest.to_alcotest pool_snapshot_qcheck;
+          Alcotest.test_case "counts consistent" `Quick
+            test_pool_counts_consistent ] ) ]
