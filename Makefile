@@ -1,4 +1,5 @@
-.PHONY: all test bench bench-smoke bench-json chaos-smoke telemetry-smoke clean
+.PHONY: all test bench bench-smoke bench-scaling bench-json chaos-smoke \
+	chaos-smoke-4 telemetry-smoke clean
 
 all:
 	dune build @all
@@ -15,10 +16,24 @@ bench:
 bench-smoke:
 	dune build @all @bench-smoke
 
+# The domain-pool speedup gate: smoke-budget wall/CPU timing of the
+# pooled kernels on the 256-switch torus, exiting nonzero on a slowdown
+# (also attached to `dune runtest`; see bench/exp_scaling.ml).
+bench-scaling:
+	dune build @bench-scaling
+
 # Randomized fault campaign with network-wide invariant checking, run at
 # 1, 2 and 4 domains; the verdict streams must compare equal.
-chaos-smoke:
+chaos-smoke: chaos-smoke-4
 	dune build @chaos-smoke
+
+# The same campaign driven end-to-end through the CLI with the pool
+# forced to 4 domains from the environment — the oversubscribed
+# configuration the dune rules pin, exercised the way an operator would
+# set it.
+chaos-smoke-4:
+	AUTONET_DOMAINS=4 dune exec bin/autonet_sim_cli.exe -- chaos \
+	  --topo src --topo torus:3,3 --schedules 20 --seed 42
 
 # One SRC reconfiguration with telemetry on: the emitted Chrome trace
 # must parse, its phase spans must nest and sum to the epoch duration,

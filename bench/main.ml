@@ -35,7 +35,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ("a2", "ablation: FCFC vs strict FCFS scheduler", Exp_dataplane.a2);
     ("a3", "ablation: short addresses vs source routing vs UIDs", Exp_routing.a3);
     ("a4", "ablation: alternate host ports", Exp_routing.a4);
-    ("micro", "bechamel micro-benchmarks of the kernels", Micro.run) ]
+    ("micro", "bechamel micro-benchmarks of the kernels", Micro.run);
+    ("scaling", "domain-pool speedup gate (the bench-scaling alias)",
+     Exp_scaling.run) ]
 
 let list () =
   print_endline "available experiments:";
@@ -57,6 +59,7 @@ let () =
       exit 2
     | "--smoke" :: rest ->
       Micro.smoke := true;
+      Exp_scaling.smoke := true;
       parse_opts rest
     | arg :: rest -> arg :: parse_opts rest
     | [] -> []

@@ -5,15 +5,18 @@
    These are the costs the paper's 68000 paid in its table_load_time.
 
    The two kernels that dominate the root's epoch latency — table
-   synthesis and the deadlock check — are measured three ways: the
-   domain-pool parallel path the pipeline now runs (bare kernel name),
-   the same code on one domain ([_serial]), and the retained list-based
-   [Reference] implementation ([_ref]).  Topologies: the 30-switch SRC
-   service LAN, a 64-switch torus (diameter 8, the paper's "function of
-   the maximum switch-to-switch distance" regime) and — outside smoke
-   mode — a 256-switch 16x16 torus for scaling.  With [--json FILE] the
-   ns/op, speedups and the domain count are written as JSON, the perf
-   trajectory future changes regress against. *)
+   synthesis and the deadlock check — are measured four ways: the
+   domain-pool parallel path the pipeline now runs (bare kernel name,
+   pool sized by AUTONET_DOMAINS / the machine), the same code pinned to
+   a 4-domain pool ([_d4], the scaling column), on one domain
+   ([_serial]), and the retained list-based [Reference] implementation
+   ([_ref]).  Topologies: the 30-switch SRC service LAN, a 64-switch
+   torus (diameter 8, the paper's "function of the maximum
+   switch-to-switch distance" regime) and — outside smoke mode — a
+   256-switch 16x16 torus for scaling.  With [--json FILE] the ns/op,
+   speedups and the domain count are written as JSON (schema v4: adds
+   [d4_ns_per_op]/[parallel_speedup_d4] and the raw telemetry-overhead
+   delta), the perf trajectory future changes regress against. *)
 
 open Bechamel
 open Toolkit
@@ -54,7 +57,7 @@ let make_ctx (t : B.t) =
    implementations whose cost grows super-linearly with the topology (the
    per-entry table builder and the pair-hashtable deadlock checker):
    they are skipped on the 256-switch scaling torus. *)
-let paired_tests ?(heavy_refs = true) pool c =
+let paired_tests ?(heavy_refs = true) pool pool4 c =
   [ Test.make ~name:"spanning_tree"
       (Staged.stage (fun () -> Spanning_tree.compute c.g ~member:0));
     Test.make ~name:"spanning_tree_ref"
@@ -73,10 +76,16 @@ let paired_tests ?(heavy_refs = true) pool c =
     Test.make ~name:"tables_all_switches_serial"
       (Staged.stage (fun () ->
            Tables.build_all c.g c.tree c.updown c.routes c.assignment));
+    Test.make ~name:"tables_all_switches_d4"
+      (Staged.stage (fun () ->
+           Tables.build_all ~pool:pool4 c.g c.tree c.updown c.routes
+             c.assignment));
     Test.make ~name:"deadlock_check"
       (Staged.stage (fun () -> Deadlock.check_tables ~pool c.g c.specs));
     Test.make ~name:"deadlock_check_serial"
-      (Staged.stage (fun () -> Deadlock.check_tables c.g c.specs)) ]
+      (Staged.stage (fun () -> Deadlock.check_tables c.g c.specs));
+    Test.make ~name:"deadlock_check_d4"
+      (Staged.stage (fun () -> Deadlock.check_tables ~pool:pool4 c.g c.specs)) ]
   @
   if heavy_refs then
     [ Test.make ~name:"tables_all_switches_ref"
@@ -191,7 +200,9 @@ let pp_ns ns =
   else Printf.sprintf "%.0f ns" ns
 
 let is_variant name =
-  Filename.check_suffix name "_ref" || Filename.check_suffix name "_serial"
+  Filename.check_suffix name "_ref"
+  || Filename.check_suffix name "_serial"
+  || Filename.check_suffix name "_d4"
 
 let speedup_cell num den =
   match (num, den) with
@@ -203,17 +214,25 @@ let print_table title rows =
   let r =
     Autonet_analysis.Report.create ~title
       ~columns:
-        [ "kernel"; "pipeline"; "serial"; "reference"; "vs serial"; "vs ref" ]
+        [ "kernel"; "pipeline"; "serial"; "4 domains"; "reference";
+          "vs serial"; "4-dom spd"; "vs ref" ]
   in
   List.iter
     (fun (name, ns) ->
       if not (is_variant name) then begin
         let serial_ns = List.assoc_opt (name ^ "_serial") rows in
+        let d4_ns = List.assoc_opt (name ^ "_d4") rows in
         let ref_ns = List.assoc_opt (name ^ "_ref") rows in
         let cell = function Some v -> pp_ns v | None -> "-" in
+        let d4_speedup =
+          (* serial ns over the 4-domain pool's ns: the scaling headline. *)
+          match (serial_ns, d4_ns) with
+          | Some s, Some d when not (Float.is_nan d) -> speedup_cell (Some s) d
+          | _ -> "-"
+        in
         Autonet_analysis.Report.add_row r
-          [ name; pp_ns ns; cell serial_ns; cell ref_ns;
-            speedup_cell serial_ns ns; speedup_cell ref_ns ns ]
+          [ name; pp_ns ns; cell serial_ns; cell d4_ns; cell ref_ns;
+            speedup_cell serial_ns ns; d4_speedup; speedup_cell ref_ns ns ]
       end)
     rows;
   Autonet_analysis.Report.print r
@@ -228,7 +247,13 @@ let json_of_topology buf (name, g, dia, rows) =
       | Some serial_ns ->
         Printf.bprintf b
           ", \"serial_ns_per_op\": %.1f, \"parallel_speedup\": %.2f" serial_ns
-          (serial_ns /. ns)
+          (serial_ns /. ns);
+        (match List.assoc_opt (kname ^ "_d4") rows with
+        | Some d4_ns ->
+          Printf.bprintf b
+            ", \"d4_ns_per_op\": %.1f, \"parallel_speedup_d4\": %.2f" d4_ns
+            (serial_ns /. d4_ns)
+        | None -> ())
       | None -> ());
       (match List.assoc_opt (kname ^ "_ref") rows with
       | Some ref_ns ->
@@ -244,27 +269,32 @@ let json_of_topology buf (name, g, dia, rows) =
     name (Graph.switch_count g) (Graph.link_count g) dia
     (String.concat ",\n" (List.filter_map kernel_json rows))
 
-(* Schema v3 records what the telemetry subsystem costs (E17's headline
-   number) next to the kernel trajectory: wall seconds for a boot plus
-   one reconfiguration with instrumentation compiled out, present but
-   disabled, and counting. *)
+(* Since schema v3 the record includes what the telemetry subsystem
+   itself costs (E17's headline number) next to the kernel trajectory:
+   wall seconds for a boot plus one reconfiguration with instrumentation
+   compiled out, present but disabled, and counting.
+   [disabled_overhead_pct] is clamped at zero (a measured cost cannot be
+   negative); [raw_pct] keeps the signed delta so the noise floor is
+   still on record. *)
 let json_of_overhead buf (o : Exp_telemetry.overhead) =
   Printf.bprintf buf
     "  \"telemetry_overhead\": {\n\
     \    \"topology\": %S, \"repeats\": %d,\n\
     \    \"off_s\": %.4f, \"disabled_s\": %.4f, \"on_s\": %.4f,\n\
-    \    \"disabled_overhead_pct\": %.2f, \"on_overhead_pct\": %.2f\n\
+    \    \"disabled_overhead_pct\": %.2f, \"raw_pct\": %.2f, \"on_overhead_pct\": %.2f\n\
     \  },\n"
     o.Exp_telemetry.o_topo o.Exp_telemetry.o_repeats o.Exp_telemetry.o_off_s
     o.Exp_telemetry.o_disabled_s o.Exp_telemetry.o_on_s
     (Exp_telemetry.disabled_pct o)
+    (Exp_telemetry.raw_disabled_pct o)
     (Exp_telemetry.on_pct o)
 
 let write_json path ~domains ~overhead topologies =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf
-    "{\n  \"schema\": \"autonet-bench-micro\",\n  \"version\": 3,\n  \"quota_s\": %.3f,\n  \"smoke\": %b,\n  \"domains\": %d,\n"
-    (quota_s ()) !smoke domains;
+    "{\n  \"schema\": \"autonet-bench-micro\",\n  \"version\": 4,\n  \"quota_s\": %.3f,\n  \"smoke\": %b,\n  \"domains\": %d,\n  \"cores\": %d,\n"
+    (quota_s ()) !smoke domains
+    (Domain.recommended_domain_count ());
   json_of_overhead buf overhead;
   Buffer.add_string buf "  \"topologies\": [\n";
   List.iteri
@@ -292,16 +322,19 @@ let run () =
            ~topo:"SRC" (fun () -> B.src_service_lan ()))
   in
   let pool = Pool.create () in
+  let pool4 = Pool.create ~domains:4 () in
   Printf.printf
-    "domain pool: %d domain(s) (AUTONET_DOMAINS or recommended count)\n%!"
+    "domain pool: %d domain(s) (AUTONET_DOMAINS or recommended count); \
+     fixed 4-domain pool for the _d4 scaling column\n%!"
     (Pool.domains pool);
+  Pool.set_metrics_enabled pool4 true;
   let src = make_ctx (B.src_service_lan ()) in
   let big = make_ctx (B.attach_hosts (B.torus ~rows:8 ~cols:8 ()) ~per_switch:2) in
-  let src_rows = measure (paired_tests pool src @ src_extra_tests src) in
+  let src_rows = measure (paired_tests pool pool4 src @ src_extra_tests src) in
   print_table
     "per-call cost on the 30-switch SRC topology (parallel pipeline vs serial vs reference)"
     src_rows;
-  let big_rows = measure (paired_tests pool big) in
+  let big_rows = measure (paired_tests pool pool4 big) in
   print_table "per-call cost on the 64-switch torus (diameter 8)" big_rows;
   let scaling =
     if !smoke then None
@@ -310,7 +343,7 @@ let run () =
         make_ctx (B.attach_hosts (B.torus ~rows:16 ~cols:16 ()) ~per_switch:2)
       in
       let rows =
-        measure ~quota_mult:8.0 (paired_tests ~heavy_refs:false pool huge)
+        measure ~quota_mult:8.0 (paired_tests ~heavy_refs:false pool pool4 huge)
       in
       print_table
         "per-call cost on the 256-switch 16x16 torus (scaling; heavy references skipped)"
@@ -318,6 +351,12 @@ let run () =
       Some (huge, rows)
     end
   in
+  (* Cumulative over every bechamel iteration of the _d4 kernels: how the
+     cost-weighted batches actually landed across the four domains. *)
+  print_string "4-domain pool scheduling (cumulative over all _d4 runs):\n";
+  print_string
+    (Autonet_telemetry.Metrics.render (Pool.sched_snapshot pool4));
+  print_newline ();
   Printf.printf
     "(these are the software costs behind table_load_time: the paper's 68000\n\
     \ paid them at roughly 100x a modern core's prices)\n\n";
@@ -328,4 +367,5 @@ let run () =
       ([ topo src src_rows; topo big big_rows ]
       @ match scaling with Some (c, rows) -> [ topo c rows ] | None -> [])
   | _ -> ());
+  Pool.shutdown pool4;
   Pool.shutdown pool

@@ -97,6 +97,7 @@ let cmd_route topo src dst =
 let cmd_check topo =
   let g, tree, updown, routes, assignment = configure topo in
   let pool = Autonet_parallel.Pool.default () in
+  Autonet_parallel.Pool.set_metrics_enabled pool true;
   let specs = Tables.build_all ~pool g tree updown routes assignment in
   let net = Verify.make g specs in
   Format.printf "switches: %d, links: %d, host ports: %d@."
@@ -113,7 +114,14 @@ let cmd_check topo =
   let entries =
     List.fold_left (fun acc s -> acc + Tables.entry_count s) 0 specs
   in
-  Format.printf "forwarding table entries: %d total@." entries
+  Format.printf "forwarding table entries: %d total@." entries;
+  (* How the pool actually scheduled the two fan-outs above: batches
+     claimed and batches stolen off another domain's static share.
+     Diagnostic only — unlike the deterministic pool counters, these
+     depend on the domain count. *)
+  Format.printf "pool scheduling:@.%s"
+    (Autonet_telemetry.Metrics.render
+       (Autonet_parallel.Pool.sched_snapshot pool))
 
 (* --- Cmdliner plumbing --- *)
 

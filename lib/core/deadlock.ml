@@ -44,15 +44,42 @@ let max_channel g = 2 * (Graph.max_link_id g + 1)
 
    Every dependency edge generated at switch [s] runs from a channel
    {e into} [s] to a channel {e out of} [s], and a channel points into
-   exactly one switch — so per-switch edge sets touch disjoint source
-   channels and can be built independently (and in parallel), then merged
-   into a CSR without any cross-switch deduplication.
+   exactly one switch — so per-switch edge generation touches disjoint
+   source channels and can run in parallel without any cross-switch
+   deduplication.
 
    Within one switch both endpoints are determined by port numbers, so
    the edge set is at most [max_ports] bitmasks of [max_ports] bits: for
    each in-port, one int whose bit [q] says "may continue out of port
    [q]".  Setting a bit both deduplicates and replaces the old
-   [(c1, c2)] pair-hashtable. *)
+   [(c1, c2)] pair-hashtable.
+
+   The parallel fan-out writes those masks straight into preallocated
+   call-level buffers indexed by channel (plus a per-switch slice of the
+   port->out-channel map): each task's writes are confined to the
+   channels into — and the port slice of — its own switch, so the merge
+   is the identity and the CSR below is stitched serially from the
+   filled buffers with zero intermediate per-switch records. *)
+
+module Arena = Autonet_parallel.Pool.Arena
+
+(* Per-task scratch (port -> in-channel map of the switch being scanned). *)
+let slot_task_in = Arena.register ()
+
+(* Call-level buffers, owned by the calling domain's arena and reused
+   across epochs (workers write into them during the round; the barrier
+   orders those writes before the caller's reads). *)
+let slot_mask = Arena.register ()
+let slot_head = Arena.register ()
+let slot_out = Arena.register ()
+
+(* CSR + DFS scratch, likewise reused across calls. *)
+let slot_off = Arena.register ()
+let slot_adj = Arena.register ()
+let slot_dfs_state = Arena.register ()
+let slot_dfs_parent = Arena.register ()
+let slot_dfs_sv = Arena.register ()
+let slot_dfs_si = Arena.register ()
 
 type switch_edges = {
   se_in : int array;   (* in-channel arriving on port p, or -1 *)
@@ -88,23 +115,90 @@ let channel_maps g s =
   done;
   (se_in, se_out)
 
-let spec_edges g spec =
+(* Fill switch [s]'s share of the call-level buffers: [out_ch] gets the
+   port -> out-channel map in the slice [s * (mp+1) ..], [head.(c)] tags
+   every channel [c] into [s] with [s], and [mask.(c)] accumulates the
+   continuation out-port bitmask for those channels.  All writes are
+   confined to data owned by [s], so tasks for distinct switches never
+   touch the same cell. *)
+let fill_switch_deps g ~mp ~mask ~head ~out_ch spec =
   let s = Tables.switch spec in
-  let se_in, se_out = channel_maps g s in
-  let mp = Array.length se_in - 1 in
-  let se_mask = Array.make (mp + 1) 0 in
+  let arena = Arena.get () in
+  let se_in = Arena.ints arena slot_task_in ~len:(mp + 1) in
+  Array.fill se_in 0 (mp + 1) (-1);
+  let base = s * (mp + 1) in
+  for p = 1 to mp do
+    match Graph.link_at g (s, p) with
+    | None -> ()
+    | Some l_id -> (
+      match Graph.link g l_id with
+      | None -> ()
+      | Some l ->
+        if not (Graph.is_loop l) then begin
+          let sa, _ = l.a in
+          let c_in =
+            if s = sa then begin
+              out_ch.(base + p) <- 2 * l_id;
+              (2 * l_id) + 1
+            end
+            else begin
+              out_ch.(base + p) <- (2 * l_id) + 1;
+              2 * l_id
+            end
+          in
+          se_in.(p) <- c_in;
+          head.(c_in) <- s
+        end)
+  done;
   Tables.iter spec ~f:(fun ~in_port ~dst:_ entry ->
-      if
-        (not entry.Tables.broadcast)
-        && in_port > 0 && in_port <= mp
-        && se_in.(in_port) >= 0
-      then
-        List.iter
-          (fun p ->
-            if p > 0 && p <= mp && se_out.(p) >= 0 then
-              se_mask.(in_port) <- se_mask.(in_port) lor (1 lsl p))
-          entry.Tables.ports);
-  { se_in; se_out; se_mask }
+      if (not entry.Tables.broadcast) && in_port > 0 && in_port <= mp then begin
+        let c1 = se_in.(in_port) in
+        if c1 >= 0 then
+          List.iter
+            (fun p ->
+              if p > 0 && p <= mp && out_ch.(base + p) >= 0 then
+                mask.(c1) <- mask.(c1) lor (1 lsl p))
+            entry.Tables.ports
+      end)
+
+(* Stitch the filled buffers into a CSR adjacency over channels.  Rows
+   are walked in ascending channel order and filled in ascending
+   out-port order, so the graph (and therefore the cycle witness below)
+   is identical however the per-switch fills were scheduled — and
+   because rows are visited in CSR order, one running cursor replaces
+   the per-row cursor array. *)
+let stitch_csr ~arena ~n ~mp ~mask ~head ~out_ch =
+  let off = Arena.ints arena slot_off ~len:(n + 1) in
+  Array.fill off 0 (n + 1) 0;
+  for c = 0 to n - 1 do
+    let m = mask.(c) in
+    if m <> 0 then begin
+      let base = head.(c) * (mp + 1) in
+      let deg = ref 0 in
+      for q = 1 to mp do
+        if m land (1 lsl q) <> 0 && out_ch.(base + q) >= 0 then incr deg
+      done;
+      off.(c + 1) <- !deg
+    end
+  done;
+  for c = 1 to n do
+    off.(c) <- off.(c) + off.(c - 1)
+  done;
+  let adj = Arena.ints arena slot_adj ~len:(Stdlib.max 1 off.(n)) in
+  let cur = ref 0 in
+  for c = 0 to n - 1 do
+    let m = mask.(c) in
+    if m <> 0 then begin
+      let base = head.(c) * (mp + 1) in
+      for q = 1 to mp do
+        if m land (1 lsl q) <> 0 && out_ch.(base + q) >= 0 then begin
+          adj.(!cur) <- out_ch.(base + q);
+          incr cur
+        end
+      done
+    end
+  done;
+  (off, adj)
 
 (* Merge per-switch masks into one CSR adjacency over channels.  Rows are
    filled in ascending out-port order, so the graph (and therefore the
@@ -157,10 +251,15 @@ let build_csr n per_switch =
    bounded by memory rather than the native stack (a single dependency
    chain of 100k+ channels used to overflow it). *)
 let find_cycle_csr g ~off ~adj n =
-  let state = Array.make (Stdlib.max n 1) 0 in
-  let parent = Array.make (Stdlib.max n 1) (-1) in
-  let stack_v = Array.make (Stdlib.max n 1) 0 in
-  let stack_i = Array.make (Stdlib.max n 1) 0 in
+  let cap = Stdlib.max n 1 in
+  let arena = Arena.get () in
+  let state = Arena.ints arena slot_dfs_state ~len:cap in
+  Array.fill state 0 cap 0;
+  (* [parent], and the stack arrays, are only read after being written
+     this call, so stale contents are fine. *)
+  let parent = Arena.ints arena slot_dfs_parent ~len:cap in
+  let stack_v = Arena.ints arena slot_dfs_sv ~len:cap in
+  let stack_i = Arena.ints arena slot_dfs_si ~len:cap in
   let found_v = ref (-1) and found_w = ref (-1) in
   let exception Found in
   try
@@ -207,19 +306,31 @@ let find_cycle_csr g ~off ~adj n =
 
 let check_tables ?pool g specs =
   let n = max_channel g in
-  let per_switch =
-    (* A given pool is always used, even with one domain or one spec:
-       [parallel_map_array] runs those serially anyway, and the uniform
-       path keeps the pool's call/item metrics identical for every
-       domain count. *)
-    match pool with
-    | Some pool ->
-      Array.to_list
-        (Autonet_parallel.Pool.parallel_map_array pool (spec_edges g)
-           (Array.of_list specs))
-    | None -> List.map (spec_edges g) specs
-  in
-  let off, adj = build_csr n per_switch in
+  let mp = Graph.max_ports g in
+  let ns = Graph.switch_count g in
+  let arena = Arena.get () in
+  let cap = Stdlib.max n 1 in
+  let mask = Arena.ints arena slot_mask ~len:cap in
+  Array.fill mask 0 cap 0;
+  let head = Arena.ints arena slot_head ~len:cap in
+  let out_len = Stdlib.max 1 (ns * (mp + 1)) in
+  let out_ch = Arena.ints arena slot_out ~len:out_len in
+  Array.fill out_ch 0 out_len (-1);
+  (* A given pool is always used, even with one domain or one spec: the
+     uniform path keeps the pool's call/item metrics identical for every
+     domain count.  Per-spec cost is estimated by the table's entry
+     count — scanning entries dominates the fill — so batch boundaries
+     follow the actual work, not the switch count.  (With a pool, the
+     specs must be for distinct switches, which every caller satisfies:
+     tasks rely on per-switch write ownership of the buffers.) *)
+  (match pool with
+  | Some pool ->
+    let arr = Array.of_list specs in
+    Autonet_parallel.Pool.parallel_for pool ~n:(Array.length arr)
+      ~costs:(fun i -> 1 + Tables.entry_count arr.(i))
+      (fun i -> fill_switch_deps g ~mp ~mask ~head ~out_ch arr.(i))
+  | None -> List.iter (fill_switch_deps g ~mp ~mask ~head ~out_ch) specs);
+  let off, adj = stitch_csr ~arena ~n ~mp ~mask ~head ~out_ch in
   find_cycle_csr g ~off ~adj n
 
 let check_next_hops g ~switches ~next =

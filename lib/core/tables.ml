@@ -195,6 +195,14 @@ let constant_and_broadcast_entries g tree s ~spec ~in_ports =
       (Short_address.broadcast_switches, `Switches);
       (Short_address.broadcast_hosts, `Hosts) ]
 
+(* Per-task scratch for the builder, drawn from the per-domain arena so a
+   pool worker reuses it across every switch of every epoch: the in-port
+   list as a flat array and the arrival-phase selector per in-port. *)
+module Arena = Autonet_parallel.Pool.Arena
+
+let slot_ip = Arena.register ()
+let slot_sel = Arena.register ()
+
 let build ?(mode = Minimal_routes) g tree updown routes assignment s =
   if not (Spanning_tree.mem tree s) then
     invalid_arg "Tables.build: switch not in the configured component";
@@ -217,16 +225,22 @@ let build ?(mode = Minimal_routes) g tree updown routes assignment s =
      destination switch, so the (at most two) next-hop entries per
      destination are shared across the whole 16-address block, and each
      (in-port, address) pair costs one store into the dense array. *)
-  let phase_of =
-    let a = Array.make (Graph.max_ports g + 1) Routes.Up in
-    List.iter
-      (fun p -> a.(p) <- Routes.phase_of_arrival routes ~at:s ~in_port:p)
-      in_ports;
-    a
-  in
-  let ip = Array.of_list in_ports in
-  let nip = Array.length ip in
-  let entry_of_in = Array.make nip discard in
+  (* The in-port array and the per-in-port phase selector come from the
+     per-domain arena (reused across tasks and epochs).  The selector is
+     a property of the in-port alone — it does not depend on the
+     destination — so it is computed once here instead of once per
+     destination as the old [entry_of_in] refill did. *)
+  let arena = Arena.get () in
+  let nip = List.length in_ports in
+  let ip = Arena.ints arena slot_ip ~len:(Stdlib.max 1 nip) in
+  List.iteri (fun i p -> ip.(i) <- p) in_ports;
+  let sel = Arena.ints arena slot_sel ~len:(Stdlib.max 1 nip) in
+  for i = 0 to nip - 1 do
+    sel.(i) <-
+      (match Routes.phase_of_arrival routes ~at:s ~in_port:ip.(i) with
+      | Routes.Up -> 0
+      | Routes.Down -> 1)
+  done;
   let dense = spec.dense in
   List.iter
     (fun d ->
@@ -250,12 +264,6 @@ let build ?(mode = Minimal_routes) g tree updown routes assignment s =
         in
         let e_up = entry_for Routes.Up and e_down = entry_for Routes.Down in
         if e_up.ports <> [] || e_down.ports <> [] then begin
-          for i = 0 to nip - 1 do
-            entry_of_in.(i) <-
-              (match phase_of.(ip.(i)) with
-              | Routes.Up -> e_up
-              | Routes.Down -> e_down)
-          done;
           (* [address d 0] = number lsl 4; the whole block lives below
              [dense_size_for assignment] by construction. *)
           let base =
@@ -264,7 +272,7 @@ let build ?(mode = Minimal_routes) g tree updown routes assignment s =
           for q = 0 to Graph.max_ports g do
             let k_addr = (base lor q) lsl 4 in
             for i = 0 to nip - 1 do
-              let e = entry_of_in.(i) in
+              let e = if sel.(i) = 0 then e_up else e_down in
               if e.ports <> [] then begin
                 let k = k_addr lor ip.(i) in
                 if dense.(k) == discard then spec.count <- spec.count + 1;
@@ -298,12 +306,19 @@ let build_all ?mode ?pool g tree updown routes assignment =
        before fanning out: workers must only read the graph.  One-domain
        pools run the map serially inside [parallel_map_array]; going
        through the pool regardless keeps its call/item metrics identical
-       for every domain count. *)
+       for every domain count.
+
+       A switch's build cost scales with its receiving-port count (the
+       inner loops run once per in-port for every destination block), so
+       the cabled/host port count drives the batch boundaries: hub-heavy
+       topologies no longer leave one domain holding the whole hub. *)
     (match members with m :: _ -> ignore (Graph.degree g m) | [] -> ());
+    let arr = Array.of_list members in
     Array.to_list
       (Autonet_parallel.Pool.parallel_map_array pool
+         ~costs:(fun i -> 1 + List.length (Graph.used_ports g arr.(i)))
          (fun s -> build ?mode g tree updown routes assignment s)
-         (Array.of_list members))
+         arr)
   | None ->
     List.map (fun s -> build ?mode g tree updown routes assignment s) members
 

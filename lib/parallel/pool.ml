@@ -6,16 +6,72 @@
    condition variable between jobs, so a [run] costs two lock round-trips
    per worker rather than a domain spawn (~30 us vs ~1 ms).
 
-   Determinism: the scheduling of chunks across domains is dynamic, but
-   every combinator writes results into caller-indexed slots, so outputs
-   are bit-identical to the serial path regardless of the domain count or
+   Work is handed out as {e cost-weighted contiguous batches}: the
+   combinators pack the index range into ~[batches_per_domain * n_domains]
+   batches whose boundaries balance the caller's estimated per-item cost,
+   and idle domains claim whole batches off one atomic cursor.  Batches —
+   not items — are the unit of scheduling, so a fan-out of hundreds of
+   switches costs a handful of cache-line bounces instead of one per item.
+
+   Determinism: the assignment of batches to domains is dynamic, but every
+   combinator writes results into caller-indexed slots, so outputs are
+   bit-identical to the serial path regardless of the domain count or
    interleaving.  A pool of one domain degenerates to plain loops on the
    calling domain with no locking at all. *)
 
 module Metrics = Autonet_telemetry.Metrics
 
+(* --- Per-domain scratch arenas. ---
+
+   Leaf computations of the pipeline (table synthesis, deadlock edge
+   generation) need small scratch arrays per task and medium ones per
+   call.  Allocating them per task is what used to eat the fan-out win,
+   so each domain owns an arena of reusable int-array slots, grown
+   monotonically and kept for the domain's lifetime — a pool worker
+   therefore reuses its scratch across every round of every epoch.
+
+   Slots are registered once per use site (module initialization), so
+   two modules never collide.  The arrays come back uncleared and
+   possibly longer than requested: callers fill the prefix they need and
+   must carry lengths explicitly.  An arena slot must only be used by
+   leaf code that does not re-enter the pool while the array is live —
+   a nested combinator call on the same domain would hand the same slot
+   out again. *)
+
+module Arena = struct
+  type slot = int
+
+  let next_slot = Atomic.make 0
+
+  let register () = Atomic.fetch_and_add next_slot 1
+
+  type t = { mutable ints : int array array }
+
+  let key = Domain.DLS.new_key (fun () -> { ints = [||] })
+
+  let get () = Domain.DLS.get key
+
+  let ints a slot ~len =
+    let n_slots = Array.length a.ints in
+    if slot >= n_slots then begin
+      let grown = Array.make (slot + 8) [||] in
+      Array.blit a.ints 0 grown 0 n_slots;
+      a.ints <- grown
+    end;
+    let cur = a.ints.(slot) in
+    if Array.length cur >= len then cur
+    else begin
+      (* Monotonic growth with slack, so alternating sizes don't
+         reallocate every call. *)
+      let fresh = Array.make (Stdlib.max len (2 * Array.length cur)) 0 in
+      a.ints.(slot) <- fresh;
+      fresh
+    end
+end
+
 type t = {
   n_domains : int;
+  batches_per_domain : int;     (* target batches per domain per round *)
   mutex : Mutex.t;
   start : Condition.t;
   finished : Condition.t;
@@ -37,6 +93,13 @@ type t = {
   c_items : Metrics.counter;    (* items those calls covered; regs.(0) *)
   h_round : Metrics.histogram;  (* items per call; regs.(0) *)
   c_worker_items : Metrics.counter array; (* items run by worker i *)
+  (* Scheduling diagnostics live in their own per-worker registries:
+     batch counts depend on the domain count by construction, so they
+     must stay out of {!metrics_snapshot}'s any-domain-count identity.
+     {!sched_snapshot} merges them separately. *)
+  sched_regs : Metrics.t array;
+  c_worker_batches : Metrics.counter array; (* batches claimed by worker i *)
+  c_worker_steals : Metrics.counter array;  (* claimed off another's share *)
 }
 
 let domains t = t.n_domains
@@ -93,7 +156,7 @@ let shutdown t =
     end
   end
 
-let create ?domains () =
+let create ?domains ?(batches_per_domain = 4) () =
   let d =
     match domains with
     | Some d -> d
@@ -104,8 +167,10 @@ let create ?domains () =
   in
   let d = Stdlib.max 1 (Stdlib.min d max_domains) in
   let regs = Array.init d (fun _ -> Metrics.create ()) in
+  let sched_regs = Array.init d (fun _ -> Metrics.create ()) in
   let t =
     { n_domains = d;
+      batches_per_domain = Stdlib.max 1 batches_per_domain;
       mutex = Mutex.create ();
       start = Condition.create ();
       finished = Condition.create ();
@@ -123,7 +188,12 @@ let create ?domains () =
         Metrics.histogram regs.(0) "pool.items_per_call"
           ~bounds:[| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096 |];
       c_worker_items =
-        Array.map (fun r -> Metrics.counter r "pool.worker_items") regs }
+        Array.map (fun r -> Metrics.counter r "pool.worker_items") regs;
+      sched_regs;
+      c_worker_batches =
+        Array.map (fun r -> Metrics.counter r "pool.worker_batches") sched_regs;
+      c_worker_steals =
+        Array.map (fun r -> Metrics.counter r "pool.worker_steals") sched_regs }
   in
   if d > 1 then begin
     t.workers <-
@@ -186,6 +256,99 @@ let count_call t ~owner n =
     Metrics.observe t.h_round n
   end
 
+(* --- Batch boundaries. ---
+
+   Pack indices [start .. n-1] into at most [n_batches] contiguous
+   batches; [boundaries.(b) .. boundaries.(b+1) - 1] is batch [b].  With
+   [costs], batch boundaries are placed so every batch carries roughly
+   [total_cost / n_batches] of the estimated cost: fence [b] closes as
+   soon as the running cost crosses [b/n_batches] of the total, so one
+   very expensive item simply makes its batch (and no other) heavy.
+   Without [costs] the split is uniform.  Batches near the tail may come
+   out empty when costs are extremely skewed; claimants skip them. *)
+let make_boundaries ~start ~n ~n_batches costs =
+  let items = n - start in
+  let n_batches = Stdlib.max 1 (Stdlib.min n_batches items) in
+  let bnd = Array.make (n_batches + 1) n in
+  bnd.(0) <- start;
+  (match costs with
+  | None ->
+    for b = 1 to n_batches - 1 do
+      bnd.(b) <- start + (items * b / n_batches)
+    done
+  | Some cost ->
+    let total = ref 0 in
+    for i = start to n - 1 do
+      total := !total + Stdlib.max 1 (cost i)
+    done;
+    let acc = ref 0 in
+    let b = ref 1 in
+    for i = start to n - 1 do
+      acc := !acc + Stdlib.max 1 (cost i);
+      while !b < n_batches && !acc * n_batches >= !b * !total do
+        bnd.(!b) <- i + 1;
+        incr b
+      done
+    done);
+  bnd
+
+(* Dispatch [f] over [start .. n-1] as cost-weighted batches.  The caller
+   has already taken (or failed to take) the busy flag and counted the
+   call; this only runs the round and the per-worker accounting. *)
+let dispatch t ~owner ~start ~n ?chunk ?costs f =
+  let items = n - start in
+  if items > 0 then begin
+    if t.n_domains = 1 || items = 1 then begin
+      if owner then begin
+        Metrics.add t.c_worker_items.(0) items;
+        Metrics.incr t.c_worker_batches.(0)
+      end;
+      for i = start to n - 1 do
+        f i
+      done
+    end
+    else begin
+      let n_batches =
+        match chunk with
+        | Some c ->
+          let c = Stdlib.max 1 c in
+          (items + c - 1) / c
+        | None -> t.batches_per_domain * t.n_domains
+      in
+      let bnd = make_boundaries ~start ~n ~n_batches costs in
+      let n_batches = Array.length bnd - 1 in
+      let next = Atomic.make 0 in
+      let body w =
+        let continue = ref true in
+        while !continue do
+          let b = Atomic.fetch_and_add next 1 in
+          if b >= n_batches then continue := false
+          else begin
+            let lo = bnd.(b) and hi = bnd.(b + 1) - 1 in
+            if lo <= hi then begin
+              (* Worker [w]'s registries are written by one domain at a
+                 time (inline execution walks the indices serially), so
+                 this is race-free; the merged worker-item totals sum to
+                 the item count whatever the batching.  A "steal" is a
+                 batch claimed off another worker's share of the static
+                 balanced assignment — the load-imbalance signal. *)
+              if owner then begin
+                Metrics.add t.c_worker_items.(w) (hi - lo + 1);
+                Metrics.incr t.c_worker_batches.(w);
+                if b * t.n_domains / n_batches <> w then
+                  Metrics.incr t.c_worker_steals.(w)
+              end;
+              for i = lo to hi do
+                f i
+              done
+            end
+          end
+        done
+      in
+      if owner then run_round t body else run_inline t body
+    end
+  end
+
 let run t f =
   if t.n_domains = 1 then begin
     let owner = acquire t in
@@ -199,64 +362,47 @@ let run t f =
       ~finally:(fun () -> Atomic.set t.busy false)
       (fun () -> run_round t f)
 
-let parallel_for ?chunk t ~n f =
+let parallel_for ?chunk ?costs t ~n f =
   if n > 0 then begin
     let owner = acquire t in
     Fun.protect
       ~finally:(fun () -> if owner then Atomic.set t.busy false)
       (fun () ->
         count_call t ~owner n;
-        if t.n_domains = 1 || n = 1 then begin
-          if owner then Metrics.add t.c_worker_items.(0) n;
-          for i = 0 to n - 1 do
-            f i
-          done
-        end
-        else begin
-          let chunk =
-            match chunk with
-            | Some c -> Stdlib.max 1 c
-            | None -> Stdlib.max 1 (n / (4 * t.n_domains))
-          in
-          let next = Atomic.make 0 in
-          let body w =
-            let continue = ref true in
-            while !continue do
-              let lo = Atomic.fetch_and_add next chunk in
-              if lo >= n then continue := false
-              else begin
-                let hi = Stdlib.min n (lo + chunk) - 1 in
-                (* Worker [w]'s registry is written by one domain at a
-                   time (inline execution walks the indices serially), so
-                   this is race-free; the merged worker totals sum to [n]
-                   whatever the chunking. *)
-                if owner then Metrics.add t.c_worker_items.(w) (hi - lo + 1);
-                for i = lo to hi do
-                  f i
-                done
-              end
-            done
-          in
-          if owner then run_round t body else run_inline t body
-        end)
+        dispatch t ~owner ~start:0 ~n ?chunk ?costs f)
   end
 
-let parallel_map_array t f a =
+let parallel_map_array ?costs t f a =
   let n = Array.length a in
   if n = 0 then [||]
-  else if t.n_domains = 1 || n = 1 then begin
+  else begin
     let owner = acquire t in
     Fun.protect
       ~finally:(fun () -> if owner then Atomic.set t.busy false)
       (fun () ->
         count_call t ~owner n;
-        if owner then Metrics.add t.c_worker_items.(0) n;
-        Array.map f a)
-  end
-  else begin
-    let out = Array.make n None in
-    parallel_for t ~n (fun i -> out.(i) <- Some (f a.(i)));
-    Array.map (function Some v -> v | None -> assert false) out
+        if t.n_domains = 1 || n = 1 then begin
+          if owner then begin
+            Metrics.add t.c_worker_items.(0) n;
+            Metrics.incr t.c_worker_batches.(0)
+          end;
+          Array.map f a
+        end
+        else begin
+          (* The caller computes element 0 to seed the output array, then
+             the rest of the indices fan out as cost-weighted batches
+             whose ranges are exactly the slices of [out] each worker
+             fills — workers write results straight into their slice, no
+             option boxing, no reassembly pass. *)
+          let r0 = f a.(0) in
+          if owner then begin
+            Metrics.add t.c_worker_items.(0) 1;
+            Metrics.incr t.c_worker_batches.(0)
+          end;
+          let out = Array.make n r0 in
+          dispatch t ~owner ~start:1 ~n ?costs (fun i -> out.(i) <- f a.(i));
+          out
+        end)
   end
 
 (* The process-wide pool the pipeline entry points share, sized by
@@ -274,9 +420,14 @@ let default () =
 
 (* --- Telemetry --- *)
 
-let set_metrics_enabled t v = Array.iter (fun r -> Metrics.set_enabled r v) t.regs
+let set_metrics_enabled t v =
+  Array.iter (fun r -> Metrics.set_enabled r v) t.regs;
+  Array.iter (fun r -> Metrics.set_enabled r v) t.sched_regs
 
 let metrics_enabled t = Metrics.enabled t.regs.(0)
 
 let metrics_snapshot t =
   Metrics.merge (Array.to_list (Array.map Metrics.snapshot t.regs))
+
+let sched_snapshot t =
+  Metrics.merge (Array.to_list (Array.map Metrics.snapshot t.sched_regs))

@@ -1,11 +1,15 @@
 (** A fixed-size OCaml 5 domain pool for the configuration pipeline.
 
     Workers are spawned once at {!create} and parked between jobs; the
-    combinators split index ranges across them and write results into
-    caller-indexed slots, so every result is {e bit-identical} to the
-    serial computation regardless of domain count or scheduling.  A pool
-    of one domain runs everything on the calling domain with no locking —
-    the serial degenerate case the simulator's determinism relies on.
+    combinators pack the index range into {e cost-weighted contiguous
+    batches} (roughly [batches_per_domain * domains] of them, boundaries
+    balanced by the caller's estimated per-item cost) and idle domains
+    claim whole batches off one atomic cursor.  Every result is written
+    into caller-indexed slots, so outputs are {e bit-identical} to the
+    serial computation regardless of domain count, batching or
+    scheduling.  A pool of one domain runs everything on the calling
+    domain with no locking — the serial degenerate case the simulator's
+    determinism relies on.
 
     Work closures must only read shared data (or write disjoint,
     caller-indexed slots): the pool adds no synchronization around the
@@ -14,12 +18,17 @@
 
 type t
 
-val create : ?domains:int -> unit -> t
-(** [create ?domains ()] spawns [domains - 1] worker domains (the calling
-    domain is the pool's worker 0).  When [domains] is omitted it comes
-    from the [AUTONET_DOMAINS] environment variable, falling back to
-    [Domain.recommended_domain_count ()].  The count is clamped to
-    [1 .. 64]. *)
+val create : ?domains:int -> ?batches_per_domain:int -> unit -> t
+(** [create ?domains ?batches_per_domain ()] spawns [domains - 1] worker
+    domains (the calling domain is the pool's worker 0).  When [domains]
+    is omitted it comes from the [AUTONET_DOMAINS] environment variable,
+    falling back to [Domain.recommended_domain_count ()].  The count is
+    clamped to [1 .. 64].
+
+    [batches_per_domain] (default 4, clamped to [>= 1]) sets the target
+    number of batches each domain claims per combinator call: higher
+    values smooth load imbalance at the price of more cursor bounces.
+    Results never depend on it. *)
 
 val domains : t -> int
 (** Total domain count, including the calling domain. *)
@@ -37,14 +46,30 @@ val run : t -> (int -> unit) -> unit
     domain.  Results are identical either way, since every combinator
     writes caller-indexed slots. *)
 
-val parallel_for : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
-(** [parallel_for t ~n f] runs [f i] for [0 <= i < n], dynamically
-    handing out chunks of [chunk] consecutive indices (default [n / (4 *
-    domains)]) to idle domains.  Iterations must be independent. *)
+val parallel_for : ?chunk:int -> ?costs:(int -> int) -> t -> n:int -> (int -> unit) -> unit
+(** [parallel_for t ~n f] runs [f i] for [0 <= i < n] across the pool's
+    domains.  Iterations must be independent (pure, or writing disjoint
+    caller-indexed slots).
 
-val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+    [costs i] estimates the relative cost of item [i] (values are clamped
+    to [>= 1]); batch boundaries are placed so each batch carries roughly
+    an equal share of the total estimated cost.  Without [costs] items
+    are assumed uniform.  [chunk] overrides the batch size with a fixed
+    item count per batch (the pre-cost-aware knob, kept for tests and
+    tuning).  Neither affects results, only scheduling.
+
+    A failure in any iteration propagates to the caller after the round
+    barrier; the pool remains usable afterwards.  Note that iterations of
+    other batches may still run after one raises — they must not depend
+    on a failed iteration's effects. *)
+
+val parallel_map_array : ?costs:(int -> int) -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map_array t f a] is [Array.map f a] computed across the
-    pool, results in input order. *)
+    pool, results in input order.  The output array is preallocated once
+    (seeded with element 0's result, computed by the caller) and workers
+    write each result directly into its slot — batch ranges {e are} the
+    output slices, there is no intermediate collection or reassembly
+    pass.  [costs] is as for {!parallel_for}, indexed like [a]. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent; the pool cannot be
@@ -53,6 +78,43 @@ val shutdown : t -> unit
 val default : unit -> t
 (** The process-wide shared pool, created on first use with [create ()]
     (honouring [AUTONET_DOMAINS]). *)
+
+(** {1 Per-domain scratch arenas}
+
+    Every domain owns an arena of reusable [int array] slots, grown
+    monotonically and kept for the domain's lifetime — pool workers
+    therefore reuse their scratch across every round of every epoch, and
+    the configuration pipeline's per-task allocations drop to zero once
+    the arenas are warm.
+
+    A use site calls {!Arena.register} once (at module initialization)
+    per logical scratch array, then {!Arena.get}/{!Arena.ints} inside the
+    task.  Returned arrays are uncleared and may be longer than
+    requested: fill the prefix you need and carry lengths explicitly.
+
+    Arena slots are strictly for {e leaf} computations: code holding a
+    live arena array must not re-enter the pool (a nested combinator on
+    the same domain would hand the same slot out again).  Safe from any
+    domain, including concurrent nested pipelines on different workers —
+    each domain sees only its own arena. *)
+
+module Arena : sig
+  type slot
+
+  val register : unit -> slot
+  (** Allocate a fresh process-wide slot id.  Call once per scratch
+      array, at module initialization. *)
+
+  type t
+
+  val get : unit -> t
+  (** The calling domain's arena. *)
+
+  val ints : t -> slot -> len:int -> int array
+  (** [ints a slot ~len] returns the slot's cached array, reallocated
+      (with slack) only when smaller than [len].  Contents are
+      unspecified — typically the previous use's data. *)
+end
 
 (** {1 Telemetry}
 
@@ -67,14 +129,30 @@ val default : unit -> t
     - ["pool.items"]: total items those calls covered;
     - ["pool.items_per_call"]: histogram of the per-call item count;
     - ["pool.worker_items"]: items executed by each worker (merged: the
-      same total as ["pool.items"]; per-registry: the load balance). *)
+      same total as ["pool.items"]; per-registry: the load balance).
+
+    Scheduling diagnostics are kept in a {e separate} registry set,
+    merged by {!sched_snapshot}, because batch counts inherently depend
+    on the domain count and must not break {!metrics_snapshot}'s
+    any-domain-count identity:
+
+    - ["pool.worker_batches"]: batches claimed by each worker;
+    - ["pool.worker_steals"]: batches a worker claimed off another
+      worker's share of the static balanced assignment — the
+      load-imbalance signal (0 when every domain drains exactly its own
+      share). *)
 
 val set_metrics_enabled : t -> bool -> unit
 (** Metrics are disabled at creation (instruments cost a load and a
-    branch). *)
+    branch).  Covers both registry sets. *)
 
 val metrics_enabled : t -> bool
 
 val metrics_snapshot : t -> Autonet_telemetry.Metrics.snapshot
 (** The per-worker registries merged; deterministic for a deterministic
     workload, whatever the domain count. *)
+
+val sched_snapshot : t -> Autonet_telemetry.Metrics.snapshot
+(** The per-worker scheduling registries merged.  Deterministic for a
+    deterministic workload {e at a fixed domain count and batching
+    configuration}; totals vary with both. *)

@@ -104,37 +104,45 @@ let test_crosscheck () =
 let n_parallel_topologies = 50
 
 (* [Tables.build_all ~pool] and [Deadlock.check_tables ~pool] promise
-   bit-identical results to the serial path for any domain count; check
-   on randomized topologies with pools of 1, 2 and 4 domains (1 is the
-   degenerate serial case, 4 oversubscribes a small machine). *)
+   bit-identical results to the serial path for any domain count and any
+   batch granularity; sweep pools of 1..4 domains with a per-seed
+   randomized [batches_per_domain] (1 is the degenerate serial case, 3
+   leaves uneven static shares, 4 oversubscribes a small machine) and
+   require identical table specs, deadlock verdicts and — because the
+   pool's deterministic counters promise any-domain-count identity — a
+   byte-identical merged telemetry snapshot from every pool. *)
 let test_parallel_crosscheck () =
-  let pools =
-    List.map (fun d -> Autonet_parallel.Pool.create ~domains:d ()) [ 1; 2; 4 ]
-  in
-  Fun.protect
-    ~finally:(fun () -> List.iter Autonet_parallel.Pool.shutdown pools)
-    (fun () ->
-      for seed = 1 to n_parallel_topologies do
-        let rng = Rng.create ~seed:(Int64.of_int (1000 + seed)) in
-        let topo = Testlib.random_topology rng ~max_n:11 in
-        let g = topo.Autonet_topo.Builders.graph in
-        let fail fmt = Alcotest.failf ("parallel seed %d: " ^^ fmt) seed in
-        let tree = Spanning_tree.compute g ~member:0 in
-        let updown = Updown.orient g tree in
-        let routes = Routes.compute g tree updown in
-        let assignment =
-          Address_assign.make g
-            (List.map (fun s -> (s, 1)) (Spanning_tree.members tree))
-        in
-        let specs_serial = Tables.build_all g tree updown routes assignment in
-        let deadlock_serial = Deadlock.check_tables g specs_serial in
-        if
-          Deadlock.Reference.check_tables g specs_serial
-          <> deadlock_serial
-        then fail "CSR checker disagrees with the reference checker";
+  for seed = 1 to n_parallel_topologies do
+    let rng = Rng.create ~seed:(Int64.of_int (1000 + seed)) in
+    let topo = Testlib.random_topology rng ~max_n:11 in
+    let g = topo.Autonet_topo.Builders.graph in
+    let fail fmt = Alcotest.failf ("parallel seed %d: " ^^ fmt) seed in
+    let tree = Spanning_tree.compute g ~member:0 in
+    let updown = Updown.orient g tree in
+    let routes = Routes.compute g tree updown in
+    let assignment =
+      Address_assign.make g
+        (List.map (fun s -> (s, 1)) (Spanning_tree.members tree))
+    in
+    let specs_serial = Tables.build_all g tree updown routes assignment in
+    let deadlock_serial = Deadlock.check_tables g specs_serial in
+    if Deadlock.Reference.check_tables g specs_serial <> deadlock_serial then
+      fail "CSR checker disagrees with the reference checker";
+    let pools =
+      List.map
+        (fun d ->
+          Autonet_parallel.Pool.create ~domains:d
+            ~batches_per_domain:(1 + Rng.int rng 7) ())
+        [ 1; 2; 3; 4 ]
+    in
+    Fun.protect
+      ~finally:(fun () -> List.iter Autonet_parallel.Pool.shutdown pools)
+      (fun () ->
+        let rendered = ref None in
         List.iter
           (fun pool ->
             let d = Autonet_parallel.Pool.domains pool in
+            Autonet_parallel.Pool.set_metrics_enabled pool true;
             let specs_p =
               Tables.build_all ~pool g tree updown routes assignment
             in
@@ -147,9 +155,19 @@ let test_parallel_crosscheck () =
                     (Tables.switch a) d)
               specs_p specs_serial;
             if Deadlock.check_tables ~pool g specs_p <> deadlock_serial then
-              fail "deadlock result differs with %d domains" d)
-          pools
-      done)
+              fail "deadlock result differs with %d domains" d;
+            let r =
+              Autonet_telemetry.Metrics.render
+                (Autonet_parallel.Pool.metrics_snapshot pool)
+            in
+            match !rendered with
+            | None -> rendered := Some r
+            | Some prev ->
+              if prev <> r then
+                fail "merged telemetry snapshot differs with %d domains:\n%s\nvs\n%s"
+                  d r prev)
+          pools)
+  done
 
 (* A clockwise ring dependency: switch i forwards traffic arriving from
    switch i-1 on to switch i+1, so the channel dependency graph is one
@@ -237,8 +255,8 @@ let () =
       ( "parallel",
         [ Alcotest.test_case
             (Printf.sprintf
-               "pool path equals serial on %d random topologies x {1,2,4} \
-                domains"
+               "pool path equals serial on %d random topologies x {1,2,3,4} \
+                domains x random batching"
                n_parallel_topologies)
             `Quick test_parallel_crosscheck ] );
       ( "deadlock",

@@ -1,0 +1,195 @@
+(* Unit tests for the domain pool's batch dispatcher: index-coverage
+   edge cases of [parallel_for] (n = 0, n < domains, chunk-indivisible
+   ranges, cost-skewed batch boundaries), failure propagation out of a
+   worker mid-round (and pool usability afterwards), the per-domain
+   scratch arenas, and the split between the deterministic metrics
+   snapshot and the scheduling snapshot. *)
+
+module Pool = Autonet_parallel.Pool
+module Metrics = Autonet_telemetry.Metrics
+
+let with_pool ?batches_per_domain d f =
+  let p = Pool.create ~domains:d ?batches_per_domain () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+(* Every index in [0, n) must be executed exactly once, whatever the
+   domain count, chunking or cost skew.  Each index is owned by exactly
+   one batch, so the per-index cells are written race-free. *)
+let check_coverage ?chunk ?costs ~what pool n =
+  let hits = Array.make (Stdlib.max 1 n) 0 in
+  Pool.parallel_for ?chunk ?costs pool ~n (fun i -> hits.(i) <- hits.(i) + 1);
+  for i = 0 to n - 1 do
+    if hits.(i) <> 1 then
+      Alcotest.failf "%s: index %d ran %d times" what i hits.(i)
+  done
+
+let test_empty_range () =
+  with_pool 4 (fun pool ->
+      let calls = ref 0 in
+      Pool.parallel_for pool ~n:0 (fun _ -> incr calls);
+      Alcotest.(check int) "n = 0 never calls the body" 0 !calls;
+      Alcotest.(check int) "map of [||] is [||]" 0
+        (Array.length (Pool.parallel_map_array pool (fun x -> x) [||])))
+
+let test_fewer_items_than_domains () =
+  with_pool 4 (fun pool ->
+      List.iter
+        (fun n -> check_coverage ~what:(Printf.sprintf "n=%d < domains" n) pool n)
+        [ 1; 2; 3 ])
+
+let test_indivisible_chunks () =
+  List.iter
+    (fun d ->
+      with_pool d (fun pool ->
+          check_coverage ~chunk:3 ~what:"n=10 chunk=3" pool 10;
+          check_coverage ~chunk:4 ~what:"n=7 chunk=4" pool 7;
+          check_coverage ~chunk:64 ~what:"chunk > n" pool 5;
+          check_coverage ~chunk:1 ~what:"chunk=1" pool 9))
+    [ 2; 3 ]
+
+let test_cost_weighted_batches () =
+  List.iter
+    (fun d ->
+      with_pool d (fun pool ->
+          check_coverage
+            ~costs:(fun i -> ((i * i) mod 97) + 1)
+            ~what:"skewed quadratic costs" pool 100;
+          (* One item carrying virtually all the cost: its batch must
+             still cover every index exactly once. *)
+          check_coverage
+            ~costs:(fun i -> if i = 0 then 100_000 else 1)
+            ~what:"one dominant item" pool 50;
+          check_coverage
+            ~costs:(fun i -> if i = 49 then 100_000 else 1)
+            ~what:"dominant tail item" pool 50))
+    [ 2; 4 ]
+
+let test_map_matches_serial () =
+  let a = Array.init 231 (fun i -> (i * 7919) mod 1009) in
+  let f x = (x * x) + 3 in
+  let expect = Array.map f a in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun bpd ->
+          with_pool ~batches_per_domain:bpd d (fun pool ->
+              let got = Pool.parallel_map_array pool f a in
+              Alcotest.(check (array int)) "uniform map" expect got;
+              let got =
+                Pool.parallel_map_array ~costs:(fun i -> 1 + (i mod 13)) pool f a
+              in
+              Alcotest.(check (array int)) "cost-weighted map" expect got))
+        [ 1; 4; 9 ])
+    [ 1; 2; 4 ]
+
+let test_worker_failure_propagates () =
+  with_pool 4 (fun pool ->
+      Alcotest.check_raises "exception escapes the round" (Failure "boom")
+        (fun () ->
+          Pool.parallel_for pool ~n:64 (fun i ->
+              if i = 13 then failwith "boom"));
+      (* The failed round must leave the pool fully usable. *)
+      check_coverage ~what:"pool usable after a failed round" pool 32;
+      Alcotest.check_raises "map failure escapes too" (Failure "mid")
+        (fun () ->
+          ignore
+            (Pool.parallel_map_array pool
+               (fun i -> if i = 40 then failwith "mid" else i)
+               (Array.init 64 Fun.id)));
+      Alcotest.check_raises "failure on the caller-seeded element 0"
+        (Failure "first") (fun () ->
+          ignore
+            (Pool.parallel_map_array pool
+               (fun i -> if i = 0 then failwith "first" else i)
+               (Array.init 8 Fun.id)));
+      let got = Pool.parallel_map_array pool (fun i -> i * 2) (Array.init 16 Fun.id) in
+      Alcotest.(check (array int)) "map after failures"
+        (Array.init 16 (fun i -> i * 2)) got)
+
+let test_arena_reuse () =
+  let s1 = Pool.Arena.register () in
+  let s2 = Pool.Arena.register () in
+  let a = Pool.Arena.get () in
+  let x = Pool.Arena.ints a s1 ~len:4 in
+  Alcotest.(check bool) "len honoured" true (Array.length x >= 4);
+  x.(0) <- 42;
+  let y = Pool.Arena.ints a s1 ~len:2 in
+  Alcotest.(check bool) "smaller request reuses the array" true (x == y);
+  Alcotest.(check int) "contents survive (uncleared)" 42 y.(0);
+  let z = Pool.Arena.ints a s1 ~len:100 in
+  Alcotest.(check bool) "growth reallocates" true (Array.length z >= 100);
+  let w = Pool.Arena.ints a s2 ~len:4 in
+  Alcotest.(check bool) "slots are distinct" true (not (w == y))
+
+(* The deterministic snapshot must render byte-identically for the same
+   workload at every domain count and batching; the scheduling snapshot
+   is allowed to differ but its worker totals must be internally
+   consistent. *)
+let test_metrics_identity_and_sched () =
+  let workload pool =
+    Pool.parallel_for pool ~n:37 (fun _ -> ());
+    ignore
+      (Pool.parallel_map_array ~costs:(fun i -> 1 + i) pool
+         (fun x -> x + 1)
+         (Array.init 23 Fun.id))
+  in
+  let rendered = ref None in
+  List.iter
+    (fun (d, bpd) ->
+      with_pool ~batches_per_domain:bpd d (fun pool ->
+          Pool.set_metrics_enabled pool true;
+          workload pool;
+          let snap = Pool.metrics_snapshot pool in
+          (match Metrics.find snap "pool.items" with
+          | Some (Metrics.Counter n) ->
+            Alcotest.(check int)
+              (Printf.sprintf "pool.items at %d domains" d)
+              60 n
+          | _ -> Alcotest.fail "pool.items missing");
+          (match Metrics.find snap "pool.worker_items" with
+          | Some (Metrics.Counter n) ->
+            Alcotest.(check int)
+              (Printf.sprintf "worker items sum to items at %d domains" d)
+              60 n
+          | _ -> Alcotest.fail "pool.worker_items missing");
+          let r = Metrics.render snap in
+          (match !rendered with
+          | None -> rendered := Some r
+          | Some prev ->
+            if prev <> r then
+              Alcotest.failf
+                "metrics snapshot differs at %d domains (bpd %d):\n%s\nvs\n%s"
+                d bpd r prev);
+          let sched = Pool.sched_snapshot pool in
+          match Metrics.find sched "pool.worker_batches" with
+          | Some (Metrics.Counter b) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "batches counted at %d domains" d)
+              true (b >= 2)
+          | _ -> Alcotest.fail "pool.worker_batches missing"))
+    [ (1, 4); (2, 4); (3, 2); (4, 7) ]
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "parallel_for",
+        [ Alcotest.test_case "n = 0" `Quick test_empty_range;
+          Alcotest.test_case "n < domains" `Quick
+            test_fewer_items_than_domains;
+          Alcotest.test_case "chunk does not divide n" `Quick
+            test_indivisible_chunks;
+          Alcotest.test_case "cost-weighted boundaries cover exactly once"
+            `Quick test_cost_weighted_batches ] );
+      ( "map",
+        [ Alcotest.test_case "matches Array.map across domains x batching"
+            `Quick test_map_matches_serial ] );
+      ( "failure",
+        [ Alcotest.test_case
+            "worker exception propagates; pool stays usable" `Quick
+            test_worker_failure_propagates ] );
+      ( "arena",
+        [ Alcotest.test_case "slots grow monotonically and are reused"
+            `Quick test_arena_reuse ] );
+      ( "metrics",
+        [ Alcotest.test_case
+            "deterministic snapshot identical at any domain count" `Quick
+            test_metrics_identity_and_sched ] ) ]
