@@ -1,5 +1,5 @@
-.PHONY: all test bench bench-smoke bench-scaling bench-json chaos-smoke \
-	chaos-smoke-4 telemetry-smoke clean
+.PHONY: all test bench bench-smoke bench-scaling bench-delta bench-json \
+	chaos-smoke chaos-smoke-4 telemetry-smoke clean
 
 all:
 	dune build @all
@@ -21,6 +21,13 @@ bench-smoke:
 # (also attached to `dune runtest`; see bench/exp_scaling.ml).
 bench-scaling:
 	dune build @bench-scaling
+
+# The incremental-reconfiguration speedup gate: the delta fast path must
+# beat the full epoch recompute by at least 5x on the 256-switch torus
+# after a non-tree link fault (also attached to `dune runtest`; see
+# bench/exp_delta.ml).
+bench-delta:
+	dune build @bench-delta
 
 # Randomized fault campaign with network-wide invariant checking, run at
 # 1, 2 and 4 domains; the verdict streams must compare equal.

@@ -37,7 +37,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ("a4", "ablation: alternate host ports", Exp_routing.a4);
     ("micro", "bechamel micro-benchmarks of the kernels", Micro.run);
     ("scaling", "domain-pool speedup gate (the bench-scaling alias)",
-     Exp_scaling.run) ]
+     Exp_scaling.run);
+    ("delta", "e18: incremental reconfiguration speedup gate (bench-delta)",
+     Exp_delta.run) ]
 
 let list () =
   print_endline "available experiments:";
@@ -60,6 +62,7 @@ let () =
     | "--smoke" :: rest ->
       Micro.smoke := true;
       Exp_scaling.smoke := true;
+      Exp_delta.smoke := true;
       parse_opts rest
     | arg :: rest -> arg :: parse_opts rest
     | [] -> []

@@ -14,9 +14,11 @@
    torus (diameter 8, the paper's "function of the maximum
    switch-to-switch distance" regime) and — outside smoke mode — a
    256-switch 16x16 torus for scaling.  With [--json FILE] the ns/op,
-   speedups and the domain count are written as JSON (schema v4: adds
-   [d4_ns_per_op]/[parallel_speedup_d4] and the raw telemetry-overhead
-   delta), the perf trajectory future changes regress against. *)
+   speedups and the domain count are written as JSON (schema v5: adds
+   the [delta] block — full-epoch vs incremental-reconfiguration cost on
+   the scaling torus after a non-tree link fault, measured by
+   {!Exp_delta.measure}), the perf trajectory future changes regress
+   against. *)
 
 open Bechamel
 open Toolkit
@@ -289,13 +291,32 @@ let json_of_overhead buf (o : Exp_telemetry.overhead) =
     (Exp_telemetry.raw_disabled_pct o)
     (Exp_telemetry.on_pct o)
 
-let write_json path ~domains ~overhead topologies =
+(* Since schema v5 the record also carries the incremental
+   reconfiguration headline: what a tree-preserving fault costs through
+   the delta fast path next to the full epoch recompute it replaces, on
+   the scaling torus (see bench/exp_delta.ml, which gates the same
+   number at 5x). *)
+let json_of_delta buf (m : Exp_delta.meas) =
+  Printf.bprintf buf
+    "  \"delta\": {\n\
+    \    \"topology\": %S, \"switches\": %d, \"metric\": %S,\n\
+    \    \"full_ns_per_op\": %.0f, \"delta_ns_per_op\": %.0f, \"speedup\": %.2f,\n\
+    \    \"rebuilt\": %d, \"patched\": %d, \"reused\": %d, \"dests_rerun\": %d\n\
+    \  },\n"
+    m.Exp_delta.m_topo m.Exp_delta.m_switches m.Exp_delta.m_metric
+    (1e9 *. m.Exp_delta.m_full_s)
+    (1e9 *. m.Exp_delta.m_delta_s)
+    (Exp_delta.speedup m) m.Exp_delta.m_rebuilt m.Exp_delta.m_patched
+    m.Exp_delta.m_reused m.Exp_delta.m_dests
+
+let write_json path ~domains ~overhead ~delta topologies =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf
-    "{\n  \"schema\": \"autonet-bench-micro\",\n  \"version\": 4,\n  \"quota_s\": %.3f,\n  \"smoke\": %b,\n  \"domains\": %d,\n  \"cores\": %d,\n"
+    "{\n  \"schema\": \"autonet-bench-micro\",\n  \"version\": 5,\n  \"quota_s\": %.3f,\n  \"smoke\": %b,\n  \"domains\": %d,\n  \"cores\": %d,\n"
     (quota_s ()) !smoke domains
     (Domain.recommended_domain_count ());
   json_of_overhead buf overhead;
+  json_of_delta buf delta;
   Buffer.add_string buf "  \"topologies\": [\n";
   List.iteri
     (fun i t ->
@@ -362,8 +383,17 @@ let run () =
     \ paid them at roughly 100x a modern core's prices)\n\n";
   (match (!json_path, overhead) with
   | Some path, Some overhead ->
+    (* The incremental-reconfiguration headline, on the same scaling
+       torus the e18 gate uses (the 8x8 stands in under smoke). *)
+    let delta =
+      Exp_delta.measure
+        (if !smoke then
+           B.attach_hosts (B.torus ~rows:8 ~cols:8 ()) ~per_switch:2
+         else B.attach_hosts (B.torus ~rows:16 ~cols:16 ()) ~per_switch:2)
+    in
+    Exp_delta.report ~gate:false delta;
     let topo c rows = (c.topo_name, c.g, Exp_common.diameter c.g, rows) in
-    write_json path ~domains:(Pool.domains pool) ~overhead
+    write_json path ~domains:(Pool.domains pool) ~overhead ~delta
       ([ topo src src_rows; topo big big_rows ]
       @ match scaling with Some (c, rows) -> [ topo c rows ] | None -> [])
   | _ -> ());

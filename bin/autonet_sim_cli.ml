@@ -219,6 +219,7 @@ let cmd_telemetry spec seed hosts params_name fault show_metrics json spans
     match N.timeline net with Some tl -> tl | None -> assert false
   in
   Report.print (Timeline.phase_report tl);
+  if Timeline.spans tl <> [] then Report.print (Timeline.span_report tl);
   if show_metrics then print_string (Metrics.render (N.telemetry_snapshot net));
   if json then
     print_endline

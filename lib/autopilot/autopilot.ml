@@ -21,6 +21,9 @@ type tel_counters = {
   ct_transitions : Metrics.counter;
   ct_backoffs : Metrics.counter;
   ct_events : Metrics.counter;
+  ct_delta_hits : Metrics.counter;
+  ct_delta_fallbacks : Metrics.counter;
+  ct_delta_rebuilt : Metrics.counter;
 }
 
 type t = {
@@ -80,6 +83,8 @@ let skeptic_holds t = Port_monitor.skeptic_holds (monitor_exn t)
 let switch_number t = Reconfig.switch_number (reconfig_exn t)
 let assignment t = Reconfig.assignment (reconfig_exn t)
 let complete_report t = Reconfig.complete_report (reconfig_exn t)
+let delta_spec t = Reconfig.delta_spec (reconfig_exn t)
+let root_verdict t = Reconfig.root_verdict (reconfig_exn t)
 
 type stats = {
   reconfigurations_started : int;
@@ -111,6 +116,10 @@ let record_event t e =
     | Event.Port_transition _ -> Metrics.incr c.ct_transitions
     | Event.Skeptic_backoff _ -> Metrics.incr c.ct_backoffs
     | Event.Malformed_packet _ -> Metrics.incr c.ct_malformed
+    | Event.Delta_applied { rebuilt; patched; _ } ->
+      Metrics.incr c.ct_delta_hits;
+      Metrics.add c.ct_delta_rebuilt (rebuilt + patched)
+    | Event.Delta_fallback _ -> Metrics.incr c.ct_delta_fallbacks
     | _ -> ())
 
 let mark t kind =
@@ -311,7 +320,16 @@ let make_callbacks t =
              { number = Option.value ~default:(-1) (switch_number t) });
         match t.on_configured with Some f -> f t | None -> ());
     cb_log = (fun e -> record_event t e);
-    cb_mark = (fun kind -> mark t kind) }
+    cb_mark = (fun kind -> mark t kind);
+    cb_span =
+      (fun ~name ~dur_s ->
+        match t.timeline with
+        | None -> ()
+        | Some tl ->
+          Timeline.span tl ~time:(now t)
+            ~epoch:(Epoch.to_int64 (Reconfig.epoch (reconfig_exn t)))
+            ~tid:t.sw ~name
+            ~dur_ns:(int_of_float (dur_s *. 1e9))) }
 
 (* --- Lifecycle --- *)
 
@@ -534,7 +552,11 @@ let create ~fabric ~switch ?(clock_skew = Time.zero) ?metrics ?timeline () =
           ct_configs = Metrics.counter m "autopilot.configurations";
           ct_transitions = Metrics.counter m "autopilot.port_transitions";
           ct_backoffs = Metrics.counter m "autopilot.skeptic_backoffs";
-          ct_events = Metrics.counter m "autopilot.events_logged" })
+          ct_events = Metrics.counter m "autopilot.events_logged";
+          ct_delta_hits = Metrics.counter m "autopilot.delta_hits";
+          ct_delta_fallbacks = Metrics.counter m "autopilot.delta_fallbacks";
+          ct_delta_rebuilt =
+            Metrics.counter m "autopilot.delta_switches_rebuilt" })
       metrics
   in
   let t =

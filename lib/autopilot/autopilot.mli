@@ -56,6 +56,16 @@ val forwarding_table : t -> Autonet_switch.Forwarding_table.t
 val switch_number : t -> int option
 val assignment : t -> Address_assign.t option
 val complete_report : t -> Topology_report.t option
+
+val delta_spec : t -> Tables.spec option
+(** This switch's table for the current epoch {e if} the epoch took the
+    incremental (delta) path; [None] when the full path ran.  See
+    {!Reconfig.delta_spec}. *)
+
+val root_verdict : t -> Deadlock.result option
+(** The deadlock verdict this switch computed as root for the current
+    epoch, whichever path produced it; [None] off-root or mid-epoch. *)
+
 val event_log : t -> Event_log.t
 
 type stats = {

@@ -24,6 +24,14 @@ type t =
   | Tables_computed of { switches : int; number : int }
   | Root_verified of { tables : int; domains : int }
   | Root_deadlock of { detail : string }
+  | Delta_applied of {
+      rebuilt : int;
+      patched : int;
+      reused : int;
+      dests : int;
+      deadlock_full : bool;
+    }
+  | Delta_fallback of { reason : string }
   | Table_loading of { constant : bool }
   | Configured of { number : int }
   | Host_port_enabled of { port : int }
@@ -63,6 +71,12 @@ let to_string = function
       domains
   | Root_deadlock { detail } ->
     "root verify: DEADLOCK in computed tables: " ^ detail
+  | Delta_applied { rebuilt; patched; reused; dests; deadlock_full } ->
+    Printf.sprintf
+      "delta epoch: %d rebuilt, %d patched, %d reused, %d dests re-run%s"
+      rebuilt patched reused dests
+      (if deadlock_full then " (full deadlock check)" else "")
+  | Delta_fallback { reason } -> "delta fallback (full epoch): " ^ reason
   | Table_loading { constant } ->
     if constant then "loading constant table" else "loading computed tables"
   | Configured { number } -> Printf.sprintf "configured (number %d)" number

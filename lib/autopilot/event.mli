@@ -35,6 +35,20 @@ type t =
   | Tables_computed of { switches : int; number : int }
   | Root_verified of { tables : int; domains : int }
   | Root_deadlock of { detail : string }
+  | Delta_applied of {
+      rebuilt : int;
+      patched : int;
+      reused : int;
+      dests : int;
+      deadlock_full : bool;
+    }
+      (** the epoch took the incremental (delta) path: how many tables
+          were rebuilt / patched / reused and how many destinations'
+          route BFSes re-ran; [deadlock_full] when the incremental
+          certificate could not prove safety and the full checker ran *)
+  | Delta_fallback of { reason : string }
+      (** cached state existed but classification said structural: the
+          full epoch ran, with the first mismatch found *)
   | Table_loading of { constant : bool }
       (** a destructive reload began: step 1 ([constant]) or step 5 *)
   | Configured of { number : int }

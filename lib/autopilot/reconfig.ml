@@ -9,6 +9,7 @@ type callbacks = {
   cb_configured : unit -> unit;
   cb_log : Event.t -> unit;
   cb_mark : Autonet_telemetry.Timeline.kind -> unit;
+  cb_span : name:string -> dur_s:float -> unit;
 }
 
 (* What we last told the parent about our subtree. *)
@@ -48,6 +49,13 @@ type t = {
   mutable last_assignment : Address_assign.t option;
   mutable complete : Topology_report.t option;
   mutable complete_done : bool; (* tables computed and handed off this epoch *)
+  mutable committed : Delta.committed option;
+      (* last committed epoch's reusable state; survives start_epoch so the
+         next epoch can try the delta fast path, dies with [stop] *)
+  mutable delta_spec : Tables.spec option;
+      (* our table when this epoch took the delta path (None: full path) *)
+  mutable root_verdict : Deadlock.result option;
+      (* the root's deadlock verdict for this epoch, whichever path ran *)
 }
 
 let create ~fabric ~switch ~uid ~callbacks () =
@@ -67,7 +75,10 @@ let create ~fabric ~switch ~uid ~callbacks () =
     my_number = None;
     last_assignment = None;
     complete = None;
-    complete_done = false }
+    complete_done = false;
+    committed = None;
+    delta_spec = None;
+    root_verdict = None }
 
 let epoch t = t.epoch
 let position t = t.position
@@ -77,6 +88,8 @@ let proposed_number t = Option.value ~default:1 t.my_number
 let switch_number t = t.my_number
 let assignment t = t.last_assignment
 let complete_report t = t.complete
+let delta_spec t = t.delta_spec
+let root_verdict t = t.root_verdict
 
 let fresh_seq t =
   t.seq_counter <- t.seq_counter + 1;
@@ -138,8 +151,6 @@ let finish_configuration t report =
     | None -> log t "complete report does not mention us!"
     | Some me ->
       let tree = Spanning_tree.compute g ~member:me in
-      let updown = Updown.orient g tree in
-      let routes = Routes.compute g tree updown in
       let assignment =
         Address_assign.make g
           (List.filter_map
@@ -149,35 +160,111 @@ let finish_configuration t report =
                | None -> None)
              (Topology_report.switches report))
       in
-      let spec = Tables.build g tree updown routes assignment me in
       t.my_number <- Address_assign.number assignment me;
       t.last_assignment <- Some assignment;
-      event t
-        (Event.Tables_computed
-           { switches = Topology_report.size report;
-             number = Option.value ~default:(-1) t.my_number });
-      (* The root already holds the complete topology, so it can afford
-         the global safety check the other switches cannot: synthesize
-         every member's table across the domain pool and verify the
-         channel-dependency graph is acyclic before this epoch's tables
-         go live.  Results are bit-identical for any domain count, so the
-         simulator stays deterministic. *)
-      if is_root t then begin
-        let pool = Autonet_parallel.Pool.default () in
-        let all = Tables.build_all ~pool g tree updown routes assignment in
-        match Deadlock.check_tables ~pool g all with
-        | Deadlock.Acyclic ->
+      let span name dur_s = t.callbacks.cb_span ~name ~dur_s in
+      let pool =
+        if is_root t then Some (Autonet_parallel.Pool.default ()) else None
+      in
+      let domains =
+        match pool with
+        | Some p -> Autonet_parallel.Pool.domains p
+        | None -> 1
+      in
+      (* The delta fast path: when the previous epoch's committed state is
+         on hand and the freshly computed tree and assignment prove the
+         fault tree-preserving, reuse everything the proof covers and
+         recompute only the affected routes and tables.  Any mismatch at
+         all falls back to the unchanged full recompute below. *)
+      let delta =
+        if not (Delta.enabled ()) then None
+        else
+          match t.committed with
+          | None -> None
+          | Some prev ->
+            let c0 = Unix.gettimeofday () in
+            let cls = Delta.classify ~prev ~graph:g ~tree ~assignment ~me in
+            span "delta_classify" (Unix.gettimeofday () -. c0);
+            (match cls with
+            | Delta.Structural reason ->
+              event t (Event.Delta_fallback { reason });
+              None
+            | Delta.Tree_preserving ch ->
+              Some
+                (Delta.apply ?pool ~clock:Unix.gettimeofday ~on_span:span
+                   ~prev ~graph:g ~tree ~assignment ~me ch))
+      in
+      (match delta with
+      | Some (committed', stats) ->
+        event t
+          (Event.Tables_computed
+             { switches = Topology_report.size report;
+               number = Option.value ~default:(-1) t.my_number });
+        event t
+          (Event.Delta_applied
+             { rebuilt = stats.Delta.st_rebuilt;
+               patched = stats.Delta.st_patched;
+               reused = stats.Delta.st_reused;
+               dests = stats.Delta.st_dests;
+               deadlock_full = stats.Delta.st_deadlock_full });
+        (match stats.Delta.st_verdict with
+        | Some Deadlock.Acyclic ->
+          t.root_verdict <- Some Deadlock.Acyclic;
           event t
             (Event.Root_verified
-               { tables = List.length all;
-                 domains = Autonet_parallel.Pool.domains pool })
-        | Deadlock.Cycle _ as r ->
+               { tables =
+                   (match committed'.Delta.c_all with
+                   | Some a -> Array.length a
+                   | None -> 0);
+                 domains })
+        | Some (Deadlock.Cycle _ as r) ->
+          t.root_verdict <- Some r;
           event t
             (Event.Root_deadlock
                { detail = Format.asprintf "%a" Deadlock.pp_result r })
-      end;
-      mark t Autonet_telemetry.Timeline.Load_begin;
-      t.callbacks.cb_load_tables spec assignment
+        | None -> ());
+        t.committed <- Some committed';
+        t.delta_spec <- Some committed'.Delta.c_own;
+        mark t Autonet_telemetry.Timeline.Load_begin;
+        t.callbacks.cb_load_tables committed'.Delta.c_own assignment
+      | None ->
+        let updown = Updown.orient g tree in
+        let routes = Routes.compute g tree updown in
+        let spec = Tables.build g tree updown routes assignment me in
+        event t
+          (Event.Tables_computed
+             { switches = Topology_report.size report;
+               number = Option.value ~default:(-1) t.my_number });
+        (* The root already holds the complete topology, so it can afford
+           the global safety check the other switches cannot: synthesize
+           every member's table across the domain pool and verify the
+           channel-dependency graph is acyclic before this epoch's tables
+           go live.  Results are bit-identical for any domain count, so
+           the simulator stays deterministic. *)
+        let all =
+          match pool with
+          | None -> None
+          | Some pool ->
+            let all = Tables.build_all ~pool g tree updown routes assignment in
+            (match Deadlock.check_tables ~pool g all with
+            | Deadlock.Acyclic ->
+              t.root_verdict <- Some Deadlock.Acyclic;
+              event t
+                (Event.Root_verified { tables = List.length all; domains })
+            | Deadlock.Cycle _ as r ->
+              t.root_verdict <- Some r;
+              event t
+                (Event.Root_deadlock
+                   { detail = Format.asprintf "%a" Deadlock.pp_result r }));
+            Some all
+        in
+        t.committed <-
+          Some
+            (Delta.commit_full ~graph:g ~tree ~updown ~routes ~assignment
+               ~own:spec ~all);
+        t.delta_spec <- None;
+        mark t Autonet_telemetry.Timeline.Load_begin;
+        t.callbacks.cb_load_tables spec assignment)
   end;
   (* Flood the complete topology to every claiming child that has not
      acknowledged it yet — including children whose claim arrived after we
@@ -294,6 +381,9 @@ let start_epoch t ?join ~usable ~host_ports () =
   t.report_state <- Nothing_sent;
   t.complete <- None;
   t.complete_done <- false;
+  t.delta_spec <- None;
+  t.root_verdict <- None;
+  (* t.committed survives: it is exactly what the delta path reuses. *)
   event t
     (Event.Epoch_started { epoch = e; usable_links = List.length t.peers });
   mark t Autonet_telemetry.Timeline.Epoch_start;
@@ -448,4 +538,7 @@ let stop t =
   t.my_number <- None;
   t.last_assignment <- None;
   t.complete <- None;
-  t.complete_done <- false
+  t.complete_done <- false;
+  t.committed <- None;
+  t.delta_spec <- None;
+  t.root_verdict <- None

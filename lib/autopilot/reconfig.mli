@@ -38,6 +38,11 @@ type callbacks = {
       (** phase-timeline milestones ([Epoch_start], [Tree_stable],
           [Reports_closed], [Load_begin], [Configured]); the owner stamps
           time, epoch and switch id *)
+  cb_span : name:string -> dur_s:float -> unit;
+      (** wall-clock compute sub-phases of the delta fast path
+          ([delta_classify], [delta_routes], [delta_tables],
+          [delta_deadlock]); the owner stamps sim time, epoch and switch
+          id *)
 }
 
 type t
@@ -63,6 +68,16 @@ val assignment : t -> Address_assign.t option
 (** The address assignment of the last completed epoch. *)
 
 val complete_report : t -> Topology_report.t option
+
+val delta_spec : t -> Tables.spec option
+(** The table this switch loaded in the current epoch {e if} the epoch
+    took the incremental (delta) path; [None] when the full path ran.
+    The chaos oracle cross-checks it bit-for-bit against a from-scratch
+    recompute of the same complete report. *)
+
+val root_verdict : t -> Deadlock.result option
+(** The deadlock verdict this switch computed as root for the current
+    epoch, whichever path produced it; [None] off-root or mid-epoch. *)
 
 val start_epoch :
   t ->

@@ -22,6 +22,7 @@ type violation =
       cap : Time.t;
     }
   | Event_queue_leak of { pending : int; bound : int; queue : int }
+  | Delta_mismatch of { switch : Graph.switch; what : string }
 
 let label = function
   | Not_converged -> "not-converged"
@@ -30,6 +31,7 @@ let label = function
   | Unreachable _ -> "unreachable"
   | Skeptic_unbounded _ -> "skeptic-cap"
   | Event_queue_leak _ -> "event-leak"
+  | Delta_mismatch _ -> "delta-mismatch"
 
 let pp_violation ppf = function
   | Not_converged -> Format.fprintf ppf "network did not converge"
@@ -47,6 +49,9 @@ let pp_violation ppf = function
     Format.fprintf ppf
       "engine holds %d pending events (bound %d, queue incl. cancelled %d)"
       pending bound queue
+  | Delta_mismatch { switch; what } ->
+    Format.fprintf ppf
+      "s%d: delta fast path diverged from the full recompute: %s" switch what
 
 (* --- Individual invariants --- *)
 
@@ -170,6 +175,72 @@ let check_component net live vnet comp acc =
             acc endpoints)
         acc endpoints)
 
+(* Every switch that committed this epoch through the delta fast path must
+   have loaded *exactly* what the full recompute of its complete report
+   yields — same forwarding table bit for bit, same switch number, and (at
+   the root) the same deadlock verdict.  This is the oracle half of the
+   delta path's correctness argument: the classifier only has to be sound,
+   and any divergence at all surfaces here as a violation. *)
+let check_delta net =
+  let g = N.graph net in
+  let out = ref [] in
+  for s = Graph.switch_count g - 1 downto 0 do
+    let pilot = N.autopilot net s in
+    if Autopilot.powered pilot then begin
+      match Autopilot.delta_spec pilot with
+      | None -> ()
+      | Some spec -> (
+        match Autopilot.complete_report pilot with
+        | None ->
+          out :=
+            Delta_mismatch { switch = s; what = "no complete report" } :: !out
+        | Some report -> (
+          let rg = Topology_report.to_graph report in
+          match Graph.switch_of_uid rg (Autopilot.uid pilot) with
+          | None ->
+            out :=
+              Delta_mismatch { switch = s; what = "not in own report" } :: !out
+          | Some me ->
+            let tree = Spanning_tree.compute rg ~member:me in
+            let updown = Updown.orient rg tree in
+            let routes = Routes.compute rg tree updown in
+            let assignment =
+              Address_assign.make rg
+                (List.filter_map
+                   (fun (d : Topology_report.switch_desc) ->
+                     match Graph.switch_of_uid rg d.uid with
+                     | Some rs -> Some (rs, d.proposed_number)
+                     | None -> None)
+                   (Topology_report.switches report))
+            in
+            let full = Tables.build rg tree updown routes assignment me in
+            if not (Tables.equal_spec full spec) then
+              out :=
+                Delta_mismatch { switch = s; what = "forwarding table" }
+                :: !out;
+            if Autopilot.switch_number pilot <> Address_assign.number assignment me
+            then
+              out :=
+                Delta_mismatch { switch = s; what = "switch number" } :: !out;
+            (match Autopilot.root_verdict pilot with
+            | None -> ()
+            | Some v ->
+              let all = Tables.build_all rg tree updown routes assignment in
+              let fv = Deadlock.check_tables rg all in
+              let agree =
+                match (v, fv) with
+                | Deadlock.Acyclic, Deadlock.Acyclic
+                | Deadlock.Cycle _, Deadlock.Cycle _ -> true
+                | _ -> false
+              in
+              if not agree then
+                out :=
+                  Delta_mismatch { switch = s; what = "deadlock verdict" }
+                  :: !out)))
+    end
+  done;
+  !out
+
 let check ?pool net =
   if not (N.converged net) then [ Not_converged ]
   else begin
@@ -194,5 +265,6 @@ let check ?pool net =
            (fun acc comp -> check_component net live vnet comp acc)
            [] comps)
     in
-    reference @ deadlock @ unreachable @ check_skeptics net @ check_queue net
+    reference @ deadlock @ unreachable @ check_delta net @ check_skeptics net
+    @ check_queue net
   end

@@ -12,6 +12,9 @@
     - every surviving pair of attachment points (control processors, and
       host ports in the [Host] state) can reach each other by walking the
       loaded tables ({!Verify});
+    - every switch that took the incremental (delta) reconfiguration path
+      loaded exactly what the full recompute of its complete report
+      yields — table, switch number and root deadlock verdict;
     - no skeptic hold-down escaped its configured cap;
     - the engine's pending-event count is bounded (no leaked timers).
 
@@ -43,6 +46,11 @@ type violation =
   | Event_queue_leak of { pending : int; bound : int; queue : int }
       (** [pending] live events exceeded [bound]; [queue] includes the
           lazily-cancelled backlog, for diagnosis *)
+  | Delta_mismatch of { switch : Graph.switch; what : string }
+      (** the switch committed this epoch through the delta fast path and
+          what it loaded differs from a full from-scratch recompute of
+          its complete report — [what] names the diverging artifact
+          ("forwarding table", "switch number", "deadlock verdict") *)
 
 val label : violation -> string
 (** Short stable tag ("not-converged", "deadlock", ...) used in verdict

@@ -333,6 +333,103 @@ let check_tables ?pool g specs =
   let off, adj = stitch_csr ~arena ~n ~mp ~mask ~head ~out_ch in
   find_cycle_csr g ~off ~adj n
 
+(* --- Order certificate for incremental (delta-epoch) verification. ---
+
+   Rank the members by (tree level, UID); distinct switches get distinct
+   ranks because UIDs are unique.  Give the up-direction channel into
+   head switch [h] the key [m - 1 - rank h] and the down-direction
+   channel into [h] the key [m + rank h].  Every dependency edge a legal
+   up*/down* table can generate strictly increases the key:
+   - up -> up: the out channel's head is strictly closer to the root
+     (smaller level, or equal level and smaller UID — the orientation
+     rule), so its rank is smaller and its key larger;
+   - up -> down: up keys all lie below [m], down keys at or above it;
+   - down -> down: the out channel's head is strictly farther from the
+     root, so its rank and key are larger;
+   - down -> up gets a decreasing key and fails — as it must, since
+     up*/down* forbids it.
+   A spec whose every unicast edge increases the key cannot take part in
+   a dependency cycle, so if every spec certifies the whole dependency
+   graph is acyclic.  The delta path re-checks only rebuilt or patched
+   specs against the new epoch's certificate (a reused spec was certified
+   under an identical member ranking, so its certification stands) and
+   falls back to the full [check_tables] whenever any spec fails. *)
+
+type cert = { cert_rank : int array; cert_members : int }
+
+let certificate g tree =
+  let arr = Array.of_list (Spanning_tree.members tree) in
+  Array.sort
+    (fun a b ->
+      let c =
+        Int.compare (Spanning_tree.level tree a) (Spanning_tree.level tree b)
+      in
+      if c <> 0 then c
+      else Autonet_net.Uid.compare (Graph.uid g a) (Graph.uid g b))
+    arr;
+  let rank = Array.make (Graph.switch_count g) (-1) in
+  Array.iteri (fun i s -> rank.(s) <- i) arr;
+  { cert_rank = rank; cert_members = Array.length arr }
+
+let certifies cert g updown spec =
+  let s = Tables.switch spec in
+  let mp = Graph.max_ports g in
+  let m = cert.cert_members in
+  let rank x =
+    if x >= 0 && x < Array.length cert.cert_rank then cert.cert_rank.(x)
+    else -1
+  in
+  (* Per-port channel keys.  [has_*] mirrors the edge-generation rule of
+     [fill_switch_deps]: any cabled non-loop link carries channels and
+     therefore edges, usable or not; but only usable links between
+     ranked members get a finite key, so an edge over anything else
+     (correctly) fails to certify. *)
+  let has_in = Array.make (mp + 1) false in
+  let has_out = Array.make (mp + 1) false in
+  let in_key = Array.make (mp + 1) min_int in
+  let out_key = Array.make (mp + 1) min_int in
+  for p = 1 to mp do
+    match Graph.link_at g (s, p) with
+    | None -> ()
+    | Some l_id -> (
+      match Graph.link g l_id with
+      | None -> ()
+      | Some l ->
+        if not (Graph.is_loop l) then begin
+          has_in.(p) <- true;
+          has_out.(p) <- true;
+          match Updown.up_end updown l_id with
+          | None -> ()
+          | Some up ->
+            let key_into head =
+              let r = rank head in
+              if r < 0 then min_int
+              else if head = up then m - 1 - r
+              else m + r
+            in
+            let o, _ = Graph.other_end l s in
+            in_key.(p) <- key_into s;
+            out_key.(p) <- key_into o
+        end)
+  done;
+  let exception Refuted in
+  try
+    Tables.iter spec ~f:(fun ~in_port ~dst:_ entry ->
+        if
+          (not entry.Tables.broadcast)
+          && in_port > 0 && in_port <= mp
+          && has_in.(in_port)
+        then begin
+          let ki = in_key.(in_port) in
+          List.iter
+            (fun p ->
+              if p > 0 && p <= mp && has_out.(p) then
+                if ki = min_int || ki >= out_key.(p) then raise Refuted)
+            entry.Tables.ports
+        end);
+    true
+  with Refuted -> false
+
 let check_next_hops g ~switches ~next =
   let n = max_channel g in
   let per_switch =

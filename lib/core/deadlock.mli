@@ -37,6 +37,24 @@ val check_tables :
     iterative, so dependency chains longer than the native stack are
     fine. *)
 
+type cert
+(** An acyclicity order certificate: a ranking of the member switches
+    under which every dependency edge a legal up*/down* table generates
+    strictly increases a per-channel key.  Built once per epoch from the
+    spanning tree. *)
+
+val certificate : Graph.t -> Spanning_tree.t -> cert
+
+val certifies : cert -> Graph.t -> Updown.t -> Tables.spec -> bool
+(** Whether every unicast dependency edge of [spec] strictly increases
+    the certificate's channel key.  If this holds for every spec of an
+    epoch, the dependency graph is acyclic ({!check_tables} would return
+    [Acyclic]) — the one-sided check the delta path runs on just the
+    rebuilt and patched tables, falling back to {!check_tables} on any
+    failure.  Tables built by {!Tables.build} always certify; a [false]
+    is possible for hand-made or corrupted specs and proves nothing by
+    itself. *)
+
 val check_next_hops :
   Graph.t ->
   switches:Graph.switch list ->

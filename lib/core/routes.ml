@@ -72,12 +72,9 @@ let build_moves g updown n =
   done;
   (move_off, move_state, move_port, move_link)
 
-let compute g tree updown =
-  let n = Graph.switch_count g in
-  let nstates = 2 * n in
-  let move_off, move_state, move_port, move_link = build_moves g updown n in
-  (* Transpose the move CSR into a predecessor CSR for the backward BFS:
-     pred.(st') lists the states one legal move before st'. *)
+(* Transpose the move CSR into a predecessor CSR for the backward BFS:
+   pred.(st') lists the states one legal move before st'. *)
+let transpose ~nstates ~move_off ~move_state =
   let pred_off = Array.make (nstates + 1) 0 in
   let total = move_off.(nstates) in
   for i = 0 to total - 1 do
@@ -96,35 +93,205 @@ let compute g tree updown =
       cursor.(dest) <- cursor.(dest) + 1
     done
   done;
+  (pred_off, pred)
+
+(* One backward BFS from destination [d] over the predecessor CSR, into a
+   fresh distance array.  [queue] is caller-provided scratch of at least
+   [nstates] ints. *)
+let bfs_dest ~nstates ~pred_off ~pred ~queue d =
+  let dd = Array.make nstates (-1) in
+  let head = ref 0 and tail = ref 0 in
+  dd.(2 * d) <- 0;
+  dd.((2 * d) + 1) <- 0;
+  queue.(0) <- 2 * d;
+  queue.(1) <- (2 * d) + 1;
+  tail := 2;
+  while !head < !tail do
+    let st = queue.(!head) in
+    incr head;
+    let nd = dd.(st) + 1 in
+    for i = pred_off.(st) to pred_off.(st + 1) - 1 do
+      let st' = pred.(i) in
+      if dd.(st') < 0 then begin
+        dd.(st') <- nd;
+        queue.(!tail) <- st';
+        incr tail
+      end
+    done
+  done;
+  dd
+
+let compute g tree updown =
+  let n = Graph.switch_count g in
+  let nstates = 2 * n in
+  let move_off, move_state, move_port, move_link = build_moves g updown n in
+  let pred_off, pred = transpose ~nstates ~move_off ~move_state in
   (* One backward BFS per member destination, sharing one int queue. *)
   let dist = Array.make n [||] in
   let queue = Array.make (Stdlib.max nstates 1) 0 in
   for d = 0 to n - 1 do
-    if Spanning_tree.mem tree d then begin
-      let dd = Array.make nstates (-1) in
-      let head = ref 0 and tail = ref 0 in
-      dd.(2 * d) <- 0;
-      dd.((2 * d) + 1) <- 0;
-      queue.(0) <- 2 * d;
-      queue.(1) <- (2 * d) + 1;
-      tail := 2;
-      while !head < !tail do
-        let st = queue.(!head) in
-        incr head;
-        let nd = dd.(st) + 1 in
-        for i = pred_off.(st) to pred_off.(st + 1) - 1 do
-          let st' = pred.(i) in
-          if dd.(st') < 0 then begin
-            dd.(st') <- nd;
-            queue.(!tail) <- st';
-            incr tail
-          end
-        done
-      done;
-      dist.(d) <- dd
-    end
+    if Spanning_tree.mem tree d then
+      dist.(d) <- bfs_dest ~nstates ~pred_off ~pred ~queue d
   done;
   { graph = g; updown; n; move_off; move_state; move_port; move_link; dist }
+
+let recompute g tree updown ~prev ~old_of_new =
+  let n = Graph.switch_count g in
+  let nstates = 2 * n in
+  let move_off, move_state, move_port, move_link = build_moves g updown n in
+  let pred_off, pred = transpose ~nstates ~move_off ~move_state in
+  let identity =
+    n = prev.n
+    &&
+    let ok = ref true in
+    for s = 0 to n - 1 do
+      if old_of_new.(s) <> s then ok := false
+    done;
+    !ok
+  in
+  (* Per-state diff of the legal-move multiset between the epochs, with
+     old moves and the comparison keys of new moves both expressed in the
+     OLD state space.  A new move whose target switch has no old image
+     gets a unique negative key, so it always surfaces as an addition. *)
+  let dels = ref [] (* (st_new, st_old, deleted old-space target) *)
+  and adds = ref [] (* (st_new, added new-space target) *) in
+  for ns = 0 to n - 1 do
+    let os = old_of_new.(ns) in
+    for ph = 0 to 1 do
+      let st = (2 * ns) + ph in
+      if os < 0 then
+        (* a switch with no previous image: every move is an addition *)
+        for i = move_off.(st) to move_off.(st + 1) - 1 do
+          adds := (st, move_state.(i)) :: !adds
+        done
+      else begin
+        let ost = (2 * os) + ph in
+        let nw = ref [] in
+        for i = move_off.(st) to move_off.(st + 1) - 1 do
+          let t' = move_state.(i) in
+          let po = old_of_new.(t' / 2) in
+          let key = if po >= 0 then (2 * po) + (t' land 1) else -2 - t' in
+          nw := (key, t') :: !nw
+        done;
+        let nw = List.sort (fun (a, _) (b, _) -> Int.compare a b) !nw in
+        let ol = ref [] in
+        for i = prev.move_off.(ost) to prev.move_off.(ost + 1) - 1 do
+          ol := prev.move_state.(i) :: !ol
+        done;
+        let ol = List.sort Int.compare !ol in
+        let rec diff o nl =
+          match (o, nl) with
+          | [], [] -> ()
+          | o1 :: orest, ((k1, t') :: nrest as nall) ->
+            if o1 = k1 then diff orest nrest
+            else if o1 < k1 then begin
+              dels := (st, ost, o1) :: !dels;
+              diff orest nall
+            end
+            else begin
+              adds := (st, t') :: !adds;
+              diff o nrest
+            end
+          | o1 :: orest, [] ->
+            dels := (st, ost, o1) :: !dels;
+            diff orest []
+          | [], (_, t') :: nrest ->
+            adds := (st, t') :: !adds;
+            diff [] nrest
+        in
+        diff ol nw
+      end
+    done
+  done;
+  let dels = !dels and adds = !adds in
+  let dist = Array.make n [||] in
+  let dirty = Array.make n false in
+  let recomputed = ref 0 in
+  let queue = Array.make (Stdlib.max nstates 1) 0 in
+  for d = 0 to n - 1 do
+    if Spanning_tree.mem tree d then begin
+      let od = old_of_new.(d) in
+      let dd_old = if od >= 0 then prev.dist.(od) else [||] in
+      if Array.length dd_old = 0 then begin
+        (* brand-new destination: fresh BFS; no switch becomes dirty for
+           it — surviving tables gain its address block by patching, not
+           because an existing next-hop set changed *)
+        dist.(d) <- bfs_dest ~nstates ~pred_off ~pred ~queue d;
+        incr recomputed
+      end
+      else begin
+        (* Previous distances at an old-space / new-space state. *)
+        let vo ost = dd_old.(ost) in
+        let vn st =
+          let os = old_of_new.(st / 2) in
+          if os < 0 then -1 else dd_old.((2 * os) + (st land 1))
+        in
+        (* The old distance function (extended with -1 at states of new
+           switches) stays the unique BFS fixed point of the new move
+           relation unless some edit seeds a change: an added move that
+           improves on the old distance, or a deleted move that was the
+           only support of its source's distance. *)
+        let seeded =
+          List.exists
+            (fun (st, st') ->
+              let t = vn st' in
+              t >= 0
+              &&
+              let h = vn st in
+              h < 0 || h > t + 1)
+            adds
+          || List.exists
+               (fun (st, ost, ost') ->
+                 let h = vo ost and t = vo ost' in
+                 h >= 1 && t = h - 1
+                 &&
+                 let supported = ref false in
+                 for i = move_off.(st) to move_off.(st + 1) - 1 do
+                   if (not !supported) && vn move_state.(i) = h - 1 then
+                     supported := true
+                 done;
+                 not !supported)
+               dels
+        in
+        if not seeded then
+          if identity then dist.(d) <- dd_old
+          else begin
+            let dd = Array.make nstates (-1) in
+            for st = 0 to nstates - 1 do
+              dd.(st) <- vn st
+            done;
+            dist.(d) <- dd
+          end
+        else begin
+          let dd = bfs_dest ~nstates ~pred_off ~pred ~queue d in
+          dist.(d) <- dd;
+          incr recomputed;
+          (* Exact dirtiness: a surviving switch must rebuild its table
+             iff, at one of its states, the set of minimal moves toward
+             [d] changed.  Comparing the minimality predicate per move of
+             the NEW CSR is exact for switches whose move list is
+             unchanged — and any switch whose move list did change is an
+             endpoint of a changed link, which the delta layer rebuilds
+             unconditionally. *)
+          for st = 0 to nstates - 1 do
+            let s = st / 2 in
+            if s <> d && (not dirty.(s)) && old_of_new.(s) >= 0 then begin
+              let hn = dd.(st) and ho = vn st in
+              for i = move_off.(st) to move_off.(st + 1) - 1 do
+                let t' = move_state.(i) in
+                let pn = hn > 0 && dd.(t') = hn - 1 in
+                let po = ho > 0 && vn t' = ho - 1 in
+                if pn <> po then dirty.(s) <- true
+              done
+            end
+          done
+        end
+      end
+    end
+  done;
+  ( { graph = g; updown; n; move_off; move_state; move_port; move_link; dist },
+    dirty,
+    !recomputed )
 
 let phase_of_arrival_at graph updown ~at ~in_port =
   if in_port = 0 then Up

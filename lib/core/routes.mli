@@ -28,6 +28,29 @@ val compute : Graph.t -> Spanning_tree.t -> Updown.t -> t
     {!Reference.compute} is the retained list-based implementation it is
     cross-checked against. *)
 
+val recompute :
+  Graph.t -> Spanning_tree.t -> Updown.t ->
+  prev:t -> old_of_new:int array ->
+  t * bool array * int
+(** Incremental variant of {!compute} for the delta reconfiguration path.
+    [prev] is the previous epoch's routing and [old_of_new.(s)] the
+    previous index of switch [s] (-1 if it had none).  The move CSR is
+    rebuilt (it is cheap and exact), then each destination's backward BFS
+    re-runs only when some move-relation edit unseats the old distance
+    function as the BFS fixed point: an added move that improves on an
+    old distance, or a deleted move that was the sole support of one.
+    Unseated (and brand-new) destinations get a fresh BFS; all others
+    reuse the previous distance array — shared physically when the switch
+    indexing is unchanged, else remapped.
+
+    Returns [(routes, dirty, recomputed)]: [routes] is observationally
+    identical to a fresh {!compute}; [dirty.(s)] is true when some
+    re-run destination's minimal next-hop set at [s] changed, i.e. when
+    switch [s]'s forwarding table must be rebuilt (exact for switches
+    whose own links did not change — the delta layer rebuilds endpoint
+    switches regardless); [recomputed] counts the destinations whose BFS
+    re-ran. *)
+
 val phase_of_arrival : t -> at:Graph.switch -> in_port:Graph.port -> phase
 (** Phase of a packet that arrived at [at] on [in_port].  Host ports and
     the control-processor port yield [Up] (the packet is entering the

@@ -174,6 +174,9 @@ let level t s =
   if not (mem t s) then invalid_arg "Spanning_tree.level: not a member";
   t.levels.(s)
 
+let level_i t s =
+  if s < 0 || s >= Array.length t.levels then -1 else t.levels.(s)
+
 let parent t s =
   if not (mem t s) then invalid_arg "Spanning_tree.parent: not a member";
   t.parents.(s)

@@ -61,6 +61,11 @@ val mem : t -> Graph.switch -> bool
 val level : t -> Graph.switch -> int
 (** Raises [Invalid_argument] for a non-member. *)
 
+val level_i : t -> Graph.switch -> int
+(** Allocation- and exception-free variant of {!level}: the switch's
+    level, or [-1] for a non-member (or out-of-range index).  The inner
+    loops of {!Updown.orient} use this. *)
+
 val parent : t -> Graph.switch -> parent option
 (** [None] exactly for the root. *)
 

@@ -286,6 +286,97 @@ let build ?(mode = Minimal_routes) g tree updown routes assignment s =
   constant_and_broadcast_entries g tree s ~spec ~in_ports;
   spec
 
+let patch ?(mode = Minimal_routes) g updown routes assignment ~prev
+    ~switch:s ~removed_numbers ~added_dests =
+  (* [s] is the switch's index in [g]; [prev.spec_switch] was its index in
+     the previous epoch's graph, which membership changes may have
+     shifted.  The copied table content is keyed by switch number, which
+     the delta classifier proved stable, so only the identity needs
+     remapping. *)
+  let spec =
+    { spec_switch = s;
+      dense = Array.copy prev.dense;
+      sparse = Hashtbl.copy prev.sparse;
+      count = prev.count }
+  in
+  (* Strip every entry of a departed switch number: a fresh build of this
+     switch writes nothing at those addresses.  Assigned numbers are >= 1,
+     so their 256-key blocks never overlap the constant and one-hop rows
+     below key 256, nor the sparse 0xFFFC+ specials. *)
+  List.iter
+    (fun number ->
+      for q = 0 to 15 do
+        let base_k = ((number lsl 4) lor q) lsl 4 in
+        for p = 0 to 15 do
+          let k = base_k lor p in
+          if k < Array.length spec.dense then begin
+            if spec.dense.(k) != discard then begin
+              spec.dense.(k) <- discard;
+              spec.count <- spec.count - 1
+            end
+          end
+          else if Hashtbl.mem spec.sparse k then begin
+            Hashtbl.remove spec.sparse k;
+            spec.count <- spec.count - 1
+          end
+        done
+      done)
+    removed_numbers;
+  (* Add the address blocks of brand-new destinations, exactly as [build]
+     renders a remote destination.  [add_entry] keeps the spec well-formed
+     even when a new number lies beyond the copied dense block: the
+     overflow lands in the sparse table, which lookups cannot tell apart. *)
+  if added_dests <> [] then begin
+    let in_ports = receiving_ports g updown s in
+    let next_hops =
+      match mode with
+      | Minimal_routes -> Routes.next_hops routes
+      | All_legal_routes -> Routes.all_next_hops routes
+    in
+    let sel =
+      List.map
+        (fun p -> (p, Routes.phase_of_arrival routes ~at:s ~in_port:p))
+        in_ports
+    in
+    List.iter
+      (fun d ->
+        if d = s then
+          invalid_arg "Tables.patch: a switch cannot gain itself as a dest";
+        let entry_for phase =
+          let hops = next_hops ~at:s ~phase ~dst:d in
+          { broadcast = false;
+            ports = List.sort_uniq Int.compare (List.map fst hops) }
+        in
+        let e_up = entry_for Routes.Up and e_down = entry_for Routes.Down in
+        if e_up.ports <> [] || e_down.ports <> [] then begin
+          let base =
+            Short_address.to_int (Address_assign.address assignment d 0)
+          in
+          for q = 0 to Graph.max_ports g do
+            let addr = Short_address.of_int (base lor q) in
+            List.iter
+              (fun (in_port, ph) ->
+                let e =
+                  match ph with Routes.Up -> e_up | Routes.Down -> e_down
+                in
+                add_entry spec ~in_port ~addr e)
+              sel
+          done
+        end)
+      added_dests
+  end;
+  spec
+
+let equal_spec a b =
+  a.spec_switch = b.spec_switch
+  && a.count = b.count
+  &&
+  let canon t =
+    fold t ~init:[] ~f:(fun acc ~in_port ~dst e ->
+        ((in_port, Short_address.to_int dst), e) :: acc)
+  in
+  canon a = canon b
+
 let of_entries ~switch entries_list =
   let spec =
     { spec_switch = switch;

@@ -58,6 +58,28 @@ val build :
     shared across the whole address block, instead of once per
     (in-port, address) pair as {!Reference.build} does. *)
 
+val patch :
+  ?mode:route_mode ->
+  Graph.t -> Updown.t -> Routes.t -> Address_assign.t ->
+  prev:spec -> switch:Graph.switch ->
+  removed_numbers:int list -> added_dests:Graph.switch list ->
+  spec
+(** Delta-path membership repair for a switch whose own routes did not
+    change: clone [prev], strip every entry addressed to a switch number
+    in [removed_numbers], and append the address blocks of the
+    [added_dests] switches exactly as {!build} would render them.
+    [switch] is the switch's index in the {e new} graph [g] — membership
+    changes shift indices, so [prev.spec_switch] cannot be trusted.  The
+    result is lookup-identical to a fresh {!build} on the new epoch
+    provided the switch's receiving ports, arrival phases and minimal
+    next-hop sets toward every surviving destination are unchanged — the
+    precondition {!Delta} establishes before choosing to patch. *)
+
+val equal_spec : spec -> spec -> bool
+(** Lookup equivalence: same switch and same non-discard entries,
+    regardless of internal dense/sparse placement.  The delta-equivalence
+    oracle and tests compare specs with this. *)
+
 val of_entries :
   switch:Graph.switch ->
   ((Graph.port * Short_address.t) * entry) list ->

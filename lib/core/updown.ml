@@ -18,9 +18,47 @@ let up_of g tree (l : Graph.link) =
     else if Uid.compare (Graph.uid g sa) (Graph.uid g sb) <= 0 then sa
     else sb
 
+(* Same rule as [up_of], but on {!Spanning_tree.level_i} so each endpoint
+   costs one bounds-checked array read instead of a membership test plus a
+   raising [level] lookup.  Loop links fall out of the [sa <> sb] guard
+   without calling [Graph.is_loop]. *)
+let up_of_i g tree (l : Graph.link) =
+  let sa, _ = l.a and sb, _ = l.b in
+  if sa = sb then -1
+  else
+    let la = Spanning_tree.level_i tree sa in
+    if la < 0 then -1
+    else
+      let lb = Spanning_tree.level_i tree sb in
+      if lb < 0 then -1
+      else if la < lb then sa
+      else if lb < la then sb
+      else if Uid.compare (Graph.uid g sa) (Graph.uid g sb) <= 0 then sa
+      else sb
+
 let orient g tree =
   let ups = Array.make (Graph.max_link_id g + 1) (-1) in
-  Graph.iter_links g (fun l -> ups.(l.id) <- up_of g tree l);
+  Graph.iter_links g (fun l -> ups.(l.id) <- up_of_i g tree l);
+  { ups }
+
+let reorient g tree ~prev ~old_of_new_link ~new_of_old_switch =
+  let ups = Array.make (Graph.max_link_id g + 1) (-1) in
+  let n_map = Array.length old_of_new_link in
+  Graph.iter_links g (fun l ->
+      let ol = if l.id < n_map then old_of_new_link.(l.id) else -1 in
+      let mapped =
+        if ol < 0 || ol >= Array.length prev.ups then -1
+        else
+          let ou = prev.ups.(ol) in
+          if ou < 0 || ou >= Array.length new_of_old_switch then -1
+          else new_of_old_switch.(ou)
+      in
+      ups.(l.id) <-
+        (if mapped >= 0 then mapped
+         (* Fresh link, or one the previous epoch excluded: orient it from
+            scratch.  Both ends survive under the delta preconditions, so
+            the rule sees the same levels and UIDs [orient] would. *)
+         else up_of_i g tree l));
   { ups }
 
 let up_end_i t id =

@@ -15,6 +15,18 @@ val orient : Graph.t -> Spanning_tree.t -> t
     {!Graph.max_link_id} and iterates links with {!Graph.iter_links},
     so no intermediate link list is allocated. *)
 
+val reorient :
+  Graph.t -> Spanning_tree.t ->
+  prev:t -> old_of_new_link:int array -> new_of_old_switch:int array ->
+  t
+(** Delta-path variant of {!orient}: links that survive from the previous
+    epoch ([old_of_new_link.(new_id) = old_id], [-1] for fresh links) keep
+    their previous orientation with the up-end switch index translated
+    through [new_of_old_switch]; fresh links are oriented from scratch.
+    Sound only under {!Delta.classify}'s preconditions — every surviving
+    switch keeps its UID, membership and tree level — under which the
+    result is identical to a fresh {!orient}. *)
+
 val up_end : t -> Graph.link_id -> Graph.switch option
 (** The switch at the "up" end, or [None] when the link is excluded (loop
     link, removed link, or outside the component). *)

@@ -23,9 +23,23 @@ type mark = {
   m_kind : kind;
 }
 
-type t = { on : bool ref; mutable rev_marks : mark list }
+type span = {
+  sp_time : Time.t;
+  sp_epoch : int64;
+  sp_tid : int;
+  sp_name : string;
+  sp_dur_ns : int;
+}
 
-let create ?(enabled = false) () = { on = ref enabled; rev_marks = [] }
+type t = {
+  on : bool ref;
+  mutable rev_marks : mark list;
+  mutable rev_spans : span list;
+}
+
+let create ?(enabled = false) () =
+  { on = ref enabled; rev_marks = []; rev_spans = [] }
+
 let enabled t = !(t.on)
 let set_enabled t v = t.on := v
 
@@ -36,6 +50,15 @@ let mark t ~time ~epoch ~tid kind =
       :: t.rev_marks
 
 let marks t = List.rev t.rev_marks
+
+let span t ~time ~epoch ~tid ~name ~dur_ns =
+  if !(t.on) then
+    t.rev_spans <-
+      { sp_time = time; sp_epoch = epoch; sp_tid = tid; sp_name = name;
+        sp_dur_ns = dur_ns }
+      :: t.rev_spans
+
+let spans t = List.rev t.rev_spans
 
 (* --- Phase derivation --- *)
 
@@ -177,6 +200,22 @@ let phase_report t =
     (epochs t);
   r
 
+let span_report t =
+  let module Report = Autonet_analysis.Report in
+  let r =
+    Report.create ~title:"Compute spans (wall clock)"
+      ~columns:[ "epoch"; "switch"; "span"; "wall" ]
+  in
+  List.iter
+    (fun sp ->
+      Report.add_row r
+        [ Int64.to_string sp.sp_epoch;
+          (if sp.sp_tid < 0 then "-" else string_of_int sp.sp_tid);
+          sp.sp_name;
+          Report.cell_time_us sp.sp_dur_ns ])
+    (spans t);
+  r
+
 (* --- Chrome trace export --- *)
 
 let us_of_ns ns = Json.Float (float_of_int ns /. 1000.)
@@ -223,6 +262,26 @@ let to_trace_json t =
                ]))
         es.es_phases)
     (epochs t);
+  List.iter
+    (fun sp ->
+      emit
+        (Json.Obj
+           [ ("ph", Json.String "X");
+             ("name",
+              Json.String
+                (if sp.sp_tid < 0 then sp.sp_name
+                 else Printf.sprintf "%s s%d" sp.sp_name sp.sp_tid));
+             ("cat", Json.String "compute");
+             ("pid", Json.Int 0); ("tid", Json.Int (sp.sp_tid + 1));
+             ("ts", us_of_ns sp.sp_time);
+             ("dur", us_of_ns sp.sp_dur_ns);
+             ("args",
+              Json.Obj
+                [ ("epoch", Json.Int (Int64.to_int sp.sp_epoch));
+                  ("ns_start", Json.Int sp.sp_time);
+                  ("ns_dur", Json.Int sp.sp_dur_ns);
+                  ("wall_clock", Json.Bool true) ]) ]))
+    (spans t);
   List.iter
     (fun m ->
       emit

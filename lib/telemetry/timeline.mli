@@ -49,6 +49,30 @@ val mark : t -> time:Autonet_sim.Time.t -> epoch:int64 -> tid:int -> kind -> uni
 val marks : t -> mark list
 (** In the order recorded (chronological: sim time never runs backward). *)
 
+(** {1 Compute spans}
+
+    A span records the wall-clock duration of a compute step (the delta
+    path's [delta_classify], [delta_routes], [delta_tables],
+    [delta_deadlock]) anchored at the sim time it ran at.  Spans are
+    free-floating: they are not part of the contiguous phase derivation
+    and {!validate_trace} ignores them. *)
+
+type span = {
+  sp_time : Autonet_sim.Time.t;  (** sim-time anchor *)
+  sp_epoch : int64;
+  sp_tid : int;  (** switch number, or [-1] for network-level spans *)
+  sp_name : string;
+  sp_dur_ns : int;  (** wall-clock duration *)
+}
+
+val span :
+  t ->
+  time:Autonet_sim.Time.t ->
+  epoch:int64 -> tid:int -> name:string -> dur_ns:int -> unit
+
+val spans : t -> span list
+(** In the order recorded. *)
+
 (** {1 Phase derivation} *)
 
 val phase_names : string list
@@ -78,12 +102,18 @@ val epochs : t -> epoch_spans list
 val phase_report : t -> Autonet_analysis.Report.t
 (** One row per complete epoch: each phase's duration and the total. *)
 
+val span_report : t -> Autonet_analysis.Report.t
+(** One row per recorded compute span: epoch, switch, span name and
+    wall-clock duration.  Empty when no spans were recorded. *)
+
 (** {1 Chrome trace export} *)
 
 val to_trace_json : t -> Json.t
 (** [{"traceEvents": [...], "displayTimeUnit": "ms"}].  Epoch and phase
     spans are complete ("ph":"X") events on tid 0; per-switch marks are
-    instants on tid [switch+1]; [ts]/[dur] are microseconds (floats) and
+    instants on tid [switch+1]; compute spans are "X" events with cat
+    ["compute"] on tid [switch+1] whose [dur] is wall-clock (flagged
+    [wall_clock] in [args]); [ts]/[dur] are microseconds (floats) and
     every span's [args] carries the exact nanosecond values. *)
 
 val validate_trace : Json.t -> (unit, string) result

@@ -245,6 +245,352 @@ let test_iter_neighbors_matches_list () =
     check ()
   done
 
+(* --- Incremental (delta) reconfiguration path. ---
+
+   The contract under test: whenever [Delta.classify] declares a fault
+   tree-preserving, [Delta.apply] commits *exactly* what the full epoch
+   would — same routes, same forwarding tables bit for bit, same root
+   deadlock verdict — at every domain count.  Structural faults must be
+   refused (the caller then runs the unchanged full path), so the
+   classifier only ever has to be sound, never clever. *)
+
+(* Rebuild [g] from scratch, optionally dropping one link and/or one
+   switch.  Indices are reassigned in the same order a fresh topology
+   report would produce them, which is exactly what the classifier's
+   UID alignment is for. *)
+let rebuild_graph ?drop_link ?drop_switch g =
+  let keep s = drop_switch <> Some s in
+  let g' = Graph.create ~max_ports:(Graph.max_ports g) () in
+  let map = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if keep s then
+        Hashtbl.replace map s (Graph.add_switch g' ~uid:(Graph.uid g s)))
+    (Graph.switches g);
+  List.iter
+    (fun (l : Graph.link) ->
+      let sa, pa = l.a and sb, pb = l.b in
+      if drop_link <> Some l.id && keep sa && keep sb then
+        ignore
+          (Graph.connect g' (Hashtbl.find map sa, pa) (Hashtbl.find map sb, pb)))
+    (Graph.links g);
+  List.iter
+    (fun (att : Graph.host_attachment) ->
+      if keep att.switch then
+        Graph.attach_host g' ~host_uid:att.host_uid ~host_port:att.host_port
+          (Hashtbl.find map att.switch, att.switch_port))
+    (Graph.hosts g);
+  g'
+
+type full_epoch = {
+  f_graph : Graph.t;
+  f_tree : Spanning_tree.t;
+  f_updown : Updown.t;
+  f_routes : Routes.t;
+  f_asg : Address_assign.t;
+  f_all : Tables.spec list;
+  f_verdict : Deadlock.result;
+}
+
+let full_epoch g ~proposals =
+  let tree = Spanning_tree.compute g ~member:0 in
+  let updown = Updown.orient g tree in
+  let routes = Routes.compute g tree updown in
+  let asg = Address_assign.make g proposals in
+  let all = Tables.build_all g tree updown routes asg in
+  let verdict = Deadlock.check_tables g all in
+  { f_graph = g; f_tree = tree; f_updown = updown; f_routes = routes;
+    f_asg = asg; f_all = all; f_verdict = verdict }
+
+(* Next-epoch proposals the way the protocol makes them: every survivor
+   proposes the number it holds, newcomers propose 1. *)
+let proposals_after prev g2 =
+  List.map
+    (fun s ->
+      match Graph.switch_of_uid prev.f_graph (Graph.uid g2 s) with
+      | Some os ->
+        (s, Option.value ~default:1 (Address_assign.number prev.f_asg os))
+      | None -> (s, 1))
+    (Graph.switches g2)
+
+let spec_for full s =
+  List.find (fun sp -> Tables.switch sp = s) full.f_all
+
+let commit_of full ~me ~root =
+  Delta.commit_full ~graph:full.f_graph ~tree:full.f_tree
+    ~updown:full.f_updown ~routes:full.f_routes ~assignment:full.f_asg
+    ~own:(spec_for full me)
+    ~all:(if root then Some full.f_all else None)
+
+let same_verdict a b =
+  match (a, b) with
+  | Deadlock.Acyclic, Deadlock.Acyclic -> true
+  | Deadlock.Cycle _, Deadlock.Cycle _ -> true
+  | _ -> false
+
+let check_routes_equal ~ctx r_delta r_full n =
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      List.iter
+        (fun phase ->
+          if
+            Routes.distance_from r_delta ~src ~phase ~dst
+            <> Routes.distance_from r_full ~src ~phase ~dst
+          then Alcotest.failf "%s: delta distance s%d->s%d differs" ctx src dst;
+          if
+            Routes.next_hops r_delta ~at:src ~phase ~dst
+            <> Routes.next_hops r_full ~at:src ~phase ~dst
+          then Alcotest.failf "%s: delta next hops s%d->s%d differ" ctx src dst)
+        [ Routes.Up; Routes.Down ]
+    done
+  done
+
+(* Classify the epoch-1 -> epoch-2 transition and, when it is declared
+   tree-preserving, require the delta commit to be byte-identical to the
+   ground-truth full epoch — at the root (full table set + deadlock
+   verdict, across 1/2/4-domain pools) and at one non-root switch (own
+   table only).  Returns whether the fast path was taken. *)
+let check_delta_matches_full ~seed ~what ~expect_hit full1 full2 =
+  let fail fmt = Alcotest.failf ("delta seed %d: %s: " ^^ fmt) seed what in
+  let g1 = full1.f_graph and g2 = full2.f_graph in
+  let n = Graph.switch_count g2 in
+  let root1 = Spanning_tree.root full1.f_tree in
+  let me2 =
+    match Graph.switch_of_uid g2 (Graph.uid g1 root1) with
+    | Some s -> s
+    | None -> fail "the previous root left the topology"
+  in
+  let prev_root = commit_of full1 ~me:root1 ~root:true in
+  match
+    Delta.classify ~prev:prev_root ~graph:g2 ~tree:full2.f_tree
+      ~assignment:full2.f_asg ~me:me2
+  with
+  | Delta.Structural reason ->
+    if expect_hit then
+      fail "expected tree-preserving, classified structural: %s" reason;
+    false
+  | Delta.Tree_preserving ch ->
+    let pools =
+      [ None;
+        Some (Autonet_parallel.Pool.create ~domains:2 ());
+        Some (Autonet_parallel.Pool.create ~domains:4 ()) ]
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (function Some p -> Autonet_parallel.Pool.shutdown p | None -> ())
+          pools)
+      (fun () ->
+        List.iter
+          (fun pool ->
+            let d =
+              match pool with
+              | Some p -> Autonet_parallel.Pool.domains p
+              | None -> 1
+            in
+            let committed, stats =
+              Delta.apply ?pool ~prev:prev_root ~graph:g2 ~tree:full2.f_tree
+                ~assignment:full2.f_asg ~me:me2 ch
+            in
+            if
+              spec_to_list committed.Delta.c_own
+              <> spec_to_list (spec_for full2 me2)
+            then fail "delta own table differs (%d domains)" d;
+            check_routes_equal
+              ~ctx:(Printf.sprintf "delta seed %d: %s (%d domains)" seed what d)
+              committed.Delta.c_routes full2.f_routes n;
+            (match committed.Delta.c_all with
+            | None -> fail "root delta kept no table set (%d domains)" d
+            | Some arr ->
+              List.iter
+                (fun sp ->
+                  let s = Tables.switch sp in
+                  if spec_to_list arr.(s) <> spec_to_list sp then
+                    fail "delta table for s%d differs (%d domains)" s d)
+                full2.f_all);
+            match stats.Delta.st_verdict with
+            | None -> fail "root delta produced no verdict (%d domains)" d
+            | Some v ->
+              if not (same_verdict v full2.f_verdict) then
+                fail "delta deadlock verdict differs (%d domains)" d)
+          pools);
+    (* The non-root side: classification is per-switch, and only the own
+       table is committed (no table set, no verdict). *)
+    (match
+       List.find_opt
+         (fun s ->
+           s <> me2 && Graph.switch_of_uid g1 (Graph.uid g2 s) <> None)
+         (List.rev (Spanning_tree.members full2.f_tree))
+     with
+    | None -> ()
+    | Some s2 -> (
+      let s1 = Option.get (Graph.switch_of_uid g1 (Graph.uid g2 s2)) in
+      let prev_nr = commit_of full1 ~me:s1 ~root:false in
+      match
+        Delta.classify ~prev:prev_nr ~graph:g2 ~tree:full2.f_tree
+          ~assignment:full2.f_asg ~me:s2
+      with
+      | Delta.Structural reason ->
+        fail "non-root classified structural after root hit: %s" reason
+      | Delta.Tree_preserving ch_nr ->
+        let committed, stats =
+          Delta.apply ~prev:prev_nr ~graph:g2 ~tree:full2.f_tree
+            ~assignment:full2.f_asg ~me:s2 ch_nr
+        in
+        if
+          spec_to_list committed.Delta.c_own
+          <> spec_to_list (spec_for full2 s2)
+        then fail "non-root delta own table differs";
+        if stats.Delta.st_verdict <> None then
+          fail "non-root delta produced a verdict"));
+    true
+
+let tree_link_ids full =
+  List.filter_map
+    (fun s ->
+      match Spanning_tree.parent full.f_tree s with
+      | Some p -> Graph.link_at full.f_graph (s, p.Spanning_tree.my_port)
+      | None -> None)
+    (Spanning_tree.members full.f_tree)
+
+let delta_hits = ref 0
+
+let run_delta_seed seed =
+  let rng = Rng.create ~seed:(Int64.of_int (7000 + seed)) in
+  let topo = Testlib.random_topology rng ~max_n:9 in
+  let g1 = rebuild_graph topo.Autonet_topo.Builders.graph in
+  let connected g =
+    List.length (Spanning_tree.members (Spanning_tree.compute g ~member:0))
+    = Graph.switch_count g
+  in
+  (* The delta contract is about a previously *configured* network, so a
+     disconnected sample is out of scope for this property. *)
+  if connected g1 then begin
+    let full1 =
+      full_epoch g1 ~proposals:(List.map (fun s -> (s, 1)) (Graph.switches g1))
+    in
+    let second prev g2 = full_epoch g2 ~proposals:(proposals_after prev g2) in
+    let case what ~expect_hit full1 full2 =
+      if check_delta_matches_full ~seed ~what ~expect_hit full1 full2 then
+        incr delta_hits
+    in
+    (* A non-tree link dies (must take the fast path), then comes back
+       (the tree may legitimately change, so the classifier decides). *)
+    let tl = tree_link_ids full1 in
+    let non_tree =
+      List.filter
+        (fun (l : Graph.link) ->
+          fst l.a <> fst l.b && not (List.mem l.id tl))
+        (Graph.links g1)
+    in
+    (match non_tree with
+    | [] -> ()
+    | ls ->
+      let l = List.nth ls (Rng.int rng (List.length ls)) in
+      let g2 = rebuild_graph ~drop_link:l.Graph.id g1 in
+      case "non-tree link down" ~expect_hit:true full1 (second full1 g2);
+      let full1' = second full1 g2 in
+      let g3 = rebuild_graph g1 in
+      case "link up" ~expect_hit:false full1' (second full1' g3));
+    (* A leaf subtree is severed (must take the fast path), then
+       rejoins. *)
+    let leaves =
+      List.filter
+        (fun s ->
+          s <> Spanning_tree.root full1.f_tree
+          && Spanning_tree.children full1.f_tree s = [])
+        (Spanning_tree.members full1.f_tree)
+    in
+    match leaves with
+    | [] -> ()
+    | ls ->
+      let x = List.nth ls (Rng.int rng (List.length ls)) in
+      let g2 = rebuild_graph ~drop_switch:x g1 in
+      case "leaf severed" ~expect_hit:true full1 (second full1 g2);
+      let full1' = second full1 g2 in
+      let g3 = rebuild_graph g1 in
+      case "leaf rejoined" ~expect_hit:false full1' (second full1' g3)
+  end
+
+let n_delta_topologies = 40
+
+let delta_qcheck =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf
+         "delta commit is byte-identical to the full epoch (%d random \
+          topologies x faults x {1,2,4} domains)"
+         n_delta_topologies)
+    ~count:n_delta_topologies
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      run_delta_seed seed;
+      true)
+
+let test_delta_exercised () =
+  if !delta_hits = 0 then
+    Alcotest.fail "the delta property run never took the fast path"
+
+(* Structural faults must be refused: the classifier's soundness is what
+   the whole fast path's correctness rests on. *)
+let test_delta_structural () =
+  (* Deterministically find a connected sample. *)
+  let rec sample seed =
+    let rng = Rng.create ~seed:(Int64.of_int seed) in
+    let topo = Testlib.random_topology rng ~max_n:9 in
+    let g = rebuild_graph topo.Autonet_topo.Builders.graph in
+    if
+      List.length (Spanning_tree.members (Spanning_tree.compute g ~member:0))
+      = Graph.switch_count g
+    then g
+    else sample (seed + 1)
+  in
+  let g1 = sample 4242 in
+  let full1 =
+    full_epoch g1 ~proposals:(List.map (fun s -> (s, 1)) (Graph.switches g1))
+  in
+  let root1 = Spanning_tree.root full1.f_tree in
+  let prev = commit_of full1 ~me:root1 ~root:true in
+  let expect_structural what g2 me_uid =
+    let tree2 = Spanning_tree.compute g2 ~member:0 in
+    let asg2 = Address_assign.make g2 (proposals_after full1 g2) in
+    let me2 = Option.get (Graph.switch_of_uid g2 me_uid) in
+    match
+      Delta.classify ~prev ~graph:g2 ~tree:tree2 ~assignment:asg2 ~me:me2
+    with
+    | Delta.Structural _ -> ()
+    | Delta.Tree_preserving _ ->
+      Alcotest.failf "%s: expected a structural classification" what
+  in
+  (* Cutting a tree link re-parents a subtree (or splits the graph). *)
+  (match tree_link_ids full1 with
+  | l :: _ ->
+    expect_structural "tree link cut"
+      (rebuild_graph ~drop_link:l g1)
+      (Graph.uid g1 root1)
+  | [] -> Alcotest.fail "sample has no tree links");
+  (* Removing the root changes the root UID for every survivor. *)
+  let survivor = List.find (fun s -> s <> root1) (Graph.switches g1) in
+  expect_structural "root removed"
+    (rebuild_graph ~drop_switch:root1 g1)
+    (Graph.uid g1 survivor)
+
+let test_delta_knob () =
+  let with_env v f =
+    Unix.putenv "AUTONET_DELTA" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "AUTONET_DELTA" "") f
+  in
+  List.iter
+    (fun v ->
+      with_env v (fun () ->
+          Alcotest.(check bool) (v ^ " disables") false (Delta.enabled ())))
+    [ "0"; "false"; "off"; "no" ];
+  List.iter
+    (fun v ->
+      with_env v (fun () ->
+          Alcotest.(check bool) (v ^ " leaves it on") true (Delta.enabled ())))
+    [ "1"; "on"; "" ]
+
 let () =
   Alcotest.run "fastpath"
     [ ( "crosscheck",
@@ -266,4 +612,11 @@ let () =
             `Quick test_deadlock_witness_matches_reference ] );
       ( "graph",
         [ Alcotest.test_case "iter_neighbors matches the list API" `Quick
-            test_iter_neighbors_matches_list ] ) ]
+            test_iter_neighbors_matches_list ] );
+      ( "delta",
+        [ QCheck_alcotest.to_alcotest delta_qcheck;
+          Alcotest.test_case "the property run took the fast path" `Quick
+            test_delta_exercised;
+          Alcotest.test_case "structural faults fall back" `Quick
+            test_delta_structural;
+          Alcotest.test_case "AUTONET_DELTA knob" `Quick test_delta_knob ] ) ]
