@@ -1,5 +1,5 @@
-.PHONY: all test bench bench-smoke bench-scaling bench-delta bench-json \
-	chaos-smoke chaos-smoke-4 telemetry-smoke clean
+.PHONY: all test bench bench-smoke bench-scaling bench-delta bench-fuzz \
+	bench-json chaos-smoke chaos-smoke-4 telemetry-smoke fuzz-smoke clean
 
 all:
 	dune build @all
@@ -47,6 +47,21 @@ chaos-smoke-4:
 # and stdout + trace must be byte-identical at 1, 2 and 4 domains.
 telemetry-smoke:
 	dune build @telemetry-smoke
+
+# The coverage-guided fuzz gate at smoke budget: guided must beat blind
+# sampling and reproduce byte-identically, and the short churn campaign
+# must converge cleanly (also attached to `dune runtest`; the full bar —
+# guided subsumes every blind coverage cell and covers >=1.5x as many —
+# runs under `dune exec bench/main.exe -- fuzz`; see bench/exp_fuzz.ml).
+bench-fuzz:
+	dune build @bench-fuzz
+
+# Fixed-budget coverage-guided fuzz runs whose stdout and corpus files
+# must be byte-identical at 1, 2 and 4 domains, a repeated 2-shard
+# multi-process run that must merge identically both times, and a short
+# churn campaign byte-compared across domain counts.
+fuzz-smoke:
+	dune build @fuzz-smoke
 
 # Regenerate the committed kernel perf trajectory.
 bench-json:

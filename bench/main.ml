@@ -39,7 +39,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ("scaling", "domain-pool speedup gate (the bench-scaling alias)",
      Exp_scaling.run);
     ("delta", "e18: incremental reconfiguration speedup gate (bench-delta)",
-     Exp_delta.run) ]
+     Exp_delta.run);
+    ("fuzz", "e19: coverage-guided fuzz gate + churn campaign (bench-fuzz)",
+     Exp_fuzz.run) ]
 
 let list () =
   print_endline "available experiments:";
@@ -63,6 +65,7 @@ let () =
       Micro.smoke := true;
       Exp_scaling.smoke := true;
       Exp_delta.smoke := true;
+      Exp_fuzz.smoke := true;
       parse_opts rest
     | arg :: rest -> arg :: parse_opts rest
     | [] -> []

@@ -18,6 +18,7 @@ module Fabric = Autonet_autopilot.Fabric
 module Params = Autonet_autopilot.Params
 module Time = Autonet_sim.Time
 module Chaos = Autonet_chaos.Chaos
+module Fuzz = Autonet_chaos.Fuzz
 module Metrics = Autonet_telemetry.Metrics
 module Timeline = Autonet_telemetry.Timeline
 module Json = Autonet_telemetry.Json
@@ -258,8 +259,117 @@ let cmd_telemetry spec seed hosts params_name fault show_metrics json spans
 
 (* --- Chaos campaigns --- *)
 
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let print_fuzz_corpus entries =
+  List.iteri
+    (fun i (e : Fuzz.entry) ->
+      Format.printf "corpus %04d seed=0x%016Lx items=%02d viol=%s@." i
+        e.Fuzz.e_seed
+        (List.length e.Fuzz.e_schedule)
+        (match e.Fuzz.e_violations with
+        | [] -> "-"
+        | vs -> String.concat "," vs))
+    entries
+
+(* One coverage-guided (or, with [blind], blind-sampling) fuzz run in this
+   process; the per-entry corpus listing and the optional corpus file are
+   both deterministic in the seed, whatever AUTONET_DOMAINS says. *)
+let fuzz_here config ~budget ~blind ~seed ~corpus_out =
+  let fcfg = { (Fuzz.default config) with Fuzz.budget; guided = not blind } in
+  let r = Fuzz.run fcfg ~seed in
+  Format.printf "fuzz: executed=%d distinct=%d cells=%d signatures=%d failures=%d@."
+    r.Fuzz.r_executed r.Fuzz.r_distinct r.Fuzz.r_cells r.Fuzz.r_signatures
+    (List.length r.Fuzz.r_failures);
+  print_fuzz_corpus r.Fuzz.r_corpus;
+  match corpus_out with
+  | None -> ()
+  | Some path -> write_file path (Fuzz.corpus_to_string r.Fuzz.r_corpus)
+
+(* Multi-process sharding: re-exec this binary once per shard with a
+   derived seed and a per-shard slice of the budget, then merge the shard
+   corpora first-wins in shard order — so the merged corpus is as
+   deterministic as a single-process run.  Shard stdout goes to
+   FILE.shardN.out; the parent prints only the merged summary. *)
+let fuzz_sharded config ~topo ~params_name ~hosts ~actions ~horizon_ms ~budget
+    ~blind ~seed ~shards ~corpus_out =
+  ignore config;
+  let base = match corpus_out with Some p -> p | None -> "fuzz-corpus" in
+  let shard_files = List.init shards (fun i -> Printf.sprintf "%s.shard%d" base i) in
+  let per = budget / shards and extra = budget mod shards in
+  let pids =
+    List.mapi
+      (fun i file ->
+        let shard_seed =
+          (* Mask to 62 bits so the child's int --seed stays positive. *)
+          Int64.to_int
+            (Int64.logand
+               (Chaos.schedule_seed ~seed:(Int64.of_int seed) (1 + i))
+               0x3FFF_FFFF_FFFF_FFFFL)
+        in
+        let shard_budget = per + if i < extra then 1 else 0 in
+        let args =
+          [ Sys.executable_name; "chaos"; "--topo"; topo; "--params";
+            params_name; "--hosts"; string_of_int hosts; "--actions";
+            string_of_int actions; "--horizon-ms"; string_of_int horizon_ms;
+            "--fuzz"; string_of_int shard_budget; "--seed";
+            string_of_int shard_seed; "--corpus-out"; file ]
+          @ if blind then [ "--blind" ] else []
+        in
+        let out =
+          Unix.openfile (file ^ ".out")
+            [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+            0o644
+        in
+        let pid =
+          Unix.create_process Sys.executable_name (Array.of_list args)
+            Unix.stdin out Unix.stderr
+        in
+        Unix.close out;
+        pid)
+      shard_files
+  in
+  List.iteri
+    (fun i pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ ->
+        Format.eprintf "fuzz: shard %d failed (see %s.shard%d.out)@." i base i;
+        exit 1)
+    pids;
+  let corpora =
+    List.map
+      (fun file ->
+        match Fuzz.corpus_of_string (read_file file) with
+        | Ok c -> c
+        | Error e ->
+          Format.eprintf "fuzz: %s: %s@." file e;
+          exit 1)
+      shard_files
+  in
+  List.iteri
+    (fun i c -> Format.printf "shard %d: distinct=%d@." i (List.length c))
+    corpora;
+  let merged = Fuzz.merge_corpora corpora in
+  Format.printf "fuzz: shards=%d budget=%d merged distinct=%d failures=%d@."
+    shards budget (List.length merged)
+    (List.length (List.filter (fun e -> e.Fuzz.e_violations <> []) merged));
+  print_fuzz_corpus merged;
+  match corpus_out with
+  | None -> ()
+  | Some path -> write_file path (Fuzz.corpus_to_string merged)
+
 let cmd_chaos topos schedules seed hosts params_name actions horizon_ms replay
-    spans =
+    spans fuzz blind shards corpus_out churn =
   let params =
     match Params.preset params_name with
     | Some p -> p
@@ -275,6 +385,21 @@ let cmd_chaos topos schedules seed hosts params_name actions horizon_ms replay
       timeout = Time.s 120 }
   in
   let seed64 = Int64.of_int seed in
+  match (fuzz, churn) with
+  | Some budget, _ ->
+    let topo = List.hd topos in
+    if shards <= 1 then
+      fuzz_here (config topo) ~budget ~blind ~seed:seed64 ~corpus_out
+    else
+      fuzz_sharded (config topo) ~topo ~params_name ~hosts ~actions ~horizon_ms
+        ~budget ~blind ~seed ~shards ~corpus_out
+  | None, Some cycles ->
+    let topo = List.hd topos in
+    let report = Fuzz.churn (config topo) ~seed:seed64 ~cycles in
+    Format.printf "%a@." Fuzz.pp_churn_report report;
+    if report.Fuzz.ch_not_converged > 0 || report.Fuzz.ch_oracle_violations <> []
+    then exit 1
+  | None, None -> (
   match replay with
   | Some index ->
     (* Replay one schedule of the campaign (under the first --topo) and
@@ -316,7 +441,7 @@ let cmd_chaos topos schedules seed hosts params_name actions horizon_ms replay
       Format.eprintf "%a@." Chaos.pp_artifact art;
       Format.eprintf "replay: autonet-sim chaos --topo %s --seed %d --replay %d@."
         topo seed v.Chaos.index;
-      exit 1)
+      exit 1))
 
 (* --- Cmdliner --- *)
 
@@ -422,7 +547,44 @@ let () =
                         ~doc:
                           "With --replay: write the replay's \
                            reconfiguration phase timeline as Chrome \
-                           trace_event JSON to FILE (- for stdout)."));
+                           trace_event JSON to FILE (- for stdout).")
+                $ Arg.(
+                    value & opt (some int) None
+                    & info [ "fuzz" ] ~docv:"BUDGET"
+                        ~doc:
+                          "Coverage-guided fuzzing instead of a fixed \
+                           campaign: execute BUDGET schedules (first \
+                           --topo), keeping and mutating the \
+                           signature-novel ones.")
+                $ Arg.(
+                    value & flag
+                    & info [ "blind" ]
+                        ~doc:
+                          "With --fuzz: disable coverage guidance and \
+                           sample every schedule blindly (the baseline \
+                           the e19 experiment compares against).")
+                $ Arg.(
+                    value & opt int 1
+                    & info [ "shards" ] ~docv:"N"
+                        ~doc:
+                          "With --fuzz: split the budget across N child \
+                           processes with derived seeds and merge their \
+                           corpora first-wins in shard order.")
+                $ Arg.(
+                    value & opt (some string) None
+                    & info [ "corpus-out" ] ~docv:"FILE"
+                        ~doc:
+                          "With --fuzz: write the final corpus to FILE \
+                           (shards write FILE.shardN).")
+                $ Arg.(
+                    value & opt (some int) None
+                    & info [ "churn" ] ~docv:"CYCLES"
+                        ~doc:
+                          "Long-horizon churn campaign instead of a \
+                           fixed campaign: converge one network (first \
+                           --topo), then run CYCLES fault/heal cycles \
+                           with periodic oracle audits and report \
+                           degradation metrics."));
             Cmd.v
               (Cmd.info "telemetry"
                  ~doc:

@@ -79,13 +79,26 @@ let run_schedule ?hook ?(telemetry = `Disabled) config ~seed ~schedule =
       Time.zero schedule
   in
   N.run_for net (Time.add last (Time.ms 1));
+  (* A check that *raises* (an oracle bug, or a hook written as an
+     assertion) must still yield a verdict: converting the exception into
+     a violation keeps the campaign running and — crucially — keeps the
+     network value alive, so the failure artifact still carries its
+     telemetry snapshot and timeline instead of losing both to the
+     unwind. *)
+  let guarded f =
+    match f () with
+    | vs -> vs
+    | exception e -> [ Oracle.Check_raised (Printexc.to_string e) ]
+  in
   let violations =
     match N.run_until_converged ~timeout:config.timeout net with
     | None -> [ Oracle.Not_converged ]
-    | Some _ -> Oracle.check net
+    | Some _ -> guarded (fun () -> Oracle.check net)
   in
   let violations =
-    match hook with None -> violations | Some h -> violations @ h net
+    match hook with
+    | None -> violations
+    | Some h -> violations @ guarded (fun () -> h net)
   in
   (net, violations)
 

@@ -23,6 +23,7 @@ type violation =
     }
   | Event_queue_leak of { pending : int; bound : int; queue : int }
   | Delta_mismatch of { switch : Graph.switch; what : string }
+  | Check_raised of string
 
 let label = function
   | Not_converged -> "not-converged"
@@ -32,6 +33,7 @@ let label = function
   | Skeptic_unbounded _ -> "skeptic-cap"
   | Event_queue_leak _ -> "event-leak"
   | Delta_mismatch _ -> "delta-mismatch"
+  | Check_raised _ -> "check-raised"
 
 let pp_violation ppf = function
   | Not_converged -> Format.fprintf ppf "network did not converge"
@@ -52,6 +54,9 @@ let pp_violation ppf = function
   | Delta_mismatch { switch; what } ->
     Format.fprintf ppf
       "s%d: delta fast path diverged from the full recompute: %s" switch what
+  | Check_raised exn ->
+    Format.fprintf ppf "an invariant check raised instead of reporting: %s"
+      exn
 
 (* --- Individual invariants --- *)
 

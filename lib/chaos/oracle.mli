@@ -51,6 +51,14 @@ type violation =
           what it loaded differs from a full from-scratch recompute of
           its complete report — [what] names the diverging artifact
           ("forwarding table", "switch number", "deadlock verdict") *)
+  | Check_raised of string
+      (** an invariant check (the oracle itself, or a campaign hook)
+          raised an exception instead of returning violations; the
+          payload is [Printexc.to_string] of it.  {!Autonet_chaos.Chaos}
+          converts the exception into this violation so the failing
+          schedule still produces a verdict and a full reproducer
+          artifact — telemetry snapshot included — rather than
+          unwinding the campaign. *)
 
 val label : violation -> string
 (** Short stable tag ("not-converged", "deadlock", ...) used in verdict

@@ -75,7 +75,13 @@ let run ?until ?max_events t =
     | Some limit -> begin
       drop_dead_head t;
       match Pqueue.peek_time t.queue with
-      | None -> continue := false
+      | None ->
+        (* Idle time still passes: leaving the clock behind [limit] here
+           would freeze simulated time on a dead network, and a caller
+           polling a sim-time deadline (run_until_converged) would spin
+           forever. *)
+        if t.clock < limit then t.clock <- limit;
+        continue := false
       | Some time when time > limit ->
         t.clock <- limit;
         continue := false

@@ -36,7 +36,10 @@ val step : t -> bool
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Run events until the queue drains, the clock would pass [until], or
     [max_events] events have been executed.  Events scheduled exactly at
-    [until] do fire. *)
+    [until] do fire.  With [until] the clock always ends at [until] when
+    no later event stops it — idle simulated time passes even on an
+    empty queue, so sim-time deadlines polled around [run] still fire on
+    a dead network. *)
 
 val pending : t -> int
 (** Number of live (non-cancelled) events still queued. *)

@@ -184,3 +184,11 @@ let to_json snap =
        snap)
 
 let find snap name = List.assoc_opt name snap
+
+let counter_value snap name =
+  match find snap name with Some (Counter n) -> n | _ -> 0
+
+let scalar_value snap name =
+  match find snap name with
+  | Some (Counter n) | Some (Gauge n) -> n
+  | _ -> 0

@@ -83,3 +83,14 @@ val render : snapshot -> string
 val to_json : snapshot -> Json.t
 
 val find : snapshot -> string -> value option
+
+val counter_value : snapshot -> string -> int
+(** The named counter's value, or 0 when the name is absent or not a
+    counter — the total function signature extraction wants: a counter
+    that never fired and a counter that does not exist yet read the same,
+    so coverage signatures stay stable as instrumentation grows. *)
+
+val scalar_value : snapshot -> string -> int
+(** Like {!counter_value} but also reads gauges (the snapshot-time
+    engine/fabric instruments are gauges); histograms and absent names
+    read 0. *)

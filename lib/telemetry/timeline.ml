@@ -182,6 +182,49 @@ let epochs t =
   in
   build min_int epoch_ids
 
+let shape t =
+  let es = epochs t in
+  let complete, incomplete = List.partition (fun e -> e.es_complete) es in
+  (* Per complete epoch, the phase that consumed the most sim time; ties
+     break toward the earlier pipeline phase, so the feature is as
+     deterministic as the timeline itself. *)
+  let dominant e =
+    match e.es_phases with
+    | [] -> None
+    | ph :: rest ->
+      let dur p = Time.(p.ph_stop - p.ph_start) in
+      Some
+        (List.fold_left
+           (fun best p -> if dur p > dur best then p else best)
+           ph rest)
+          .ph_name
+  in
+  let dominated name =
+    List.length
+      (List.filter (fun e -> dominant e = Some name) complete)
+  in
+  (* Total sim time spent in each phase across the whole run: the
+     high-dynamic-range face of the timeline — it scales with epoch count
+     times epoch duration, which is exactly what long or dense fault
+     schedules move.  Seconds, not milliseconds: per-run jitter inside a
+     normal campaign stays within one bucket, so only genuinely heavier
+     runs open new cells. *)
+  let total name =
+    List.fold_left
+      (fun acc e ->
+        List.fold_left
+          (fun acc p ->
+            if p.ph_name = name then acc + Time.(p.ph_stop - p.ph_start)
+            else acc)
+          acc e.es_phases)
+      0 complete
+    / 1_000_000_000
+  in
+  ("epochs_complete", List.length complete)
+  :: ("epochs_incomplete", List.length incomplete)
+  :: List.map (fun name -> ("dominant_" ^ name, dominated name)) phase_names
+  @ List.map (fun name -> ("total_" ^ name ^ "_s", total name)) phase_names
+
 let phase_report t =
   let module Report = Autonet_analysis.Report in
   let r =

@@ -99,6 +99,16 @@ type epoch_spans = {
 val epochs : t -> epoch_spans list
 (** Ascending by epoch number. *)
 
+val shape : t -> (string * int) list
+(** Stable shape features for coverage signatures, in a fixed order:
+    [epochs_complete], [epochs_incomplete], one [dominant_<phase>] per
+    {!phase_names} entry counting the complete epochs whose sim time that
+    phase dominated (ties break toward the earlier pipeline phase), then
+    one [total_<phase>_s] per phase summing that phase's sim time in
+    whole seconds across all complete epochs.  Deterministic for a
+    deterministic run; the fuzzer buckets these values into its schedule
+    signature. *)
+
 val phase_report : t -> Autonet_analysis.Report.t
 (** One row per complete epoch: each phase's duration and the total. *)
 

@@ -236,6 +236,227 @@ let random ~rng ~graph ~horizon ~events =
   in
   sort items
 
+(* --- Validation ------------------------------------------------------- *)
+
+let validate ?graph s =
+  let ( let* ) = Result.bind in
+  let rec items i = function
+    | [] -> Ok ()
+    | { at; event } :: rest ->
+      let* () =
+        if at < 0 then
+          Error (Printf.sprintf "item %d: negative time %d" i at)
+        else Ok ()
+      in
+      let id =
+        match event with
+        | Link_down x | Link_up x | Switch_down x | Switch_up x -> x
+      in
+      let* () =
+        if id < 0 then
+          Error (Printf.sprintf "item %d: negative component id %d" i id)
+        else Ok ()
+      in
+      let* () =
+        match graph with
+        | None -> Ok ()
+        | Some g -> (
+          match event with
+          | Link_down l | Link_up l ->
+            if Graph.link g l = None then
+              Error (Printf.sprintf "item %d: link %d not in the graph" i l)
+            else Ok ()
+          | Switch_down sw | Switch_up sw ->
+            if sw >= Graph.switch_count g then
+              Error
+                (Printf.sprintf "item %d: switch %d not in the graph" i sw)
+            else Ok ())
+      in
+      items (i + 1) rest
+  in
+  let rec sorted i = function
+    | a :: (b :: _ as rest) ->
+      if compare_item a b > 0 then
+        Error (Printf.sprintf "items %d and %d out of order" i (i + 1))
+      else sorted (i + 1) rest
+    | _ -> Ok ()
+  in
+  let* () = items 0 s in
+  sorted 0 s
+
+(* --- Serialization ---------------------------------------------------- *)
+
+let event_to_string = function
+  | Link_down l -> Printf.sprintf "link_down %d" l
+  | Link_up l -> Printf.sprintf "link_up %d" l
+  | Switch_down s -> Printf.sprintf "switch_down %d" s
+  | Switch_up s -> Printf.sprintf "switch_up %d" s
+
+let event_of_string str =
+  match String.split_on_char ' ' (String.trim str) with
+  | [ kind; id ] -> (
+    match int_of_string_opt id with
+    | None -> Error (str ^ ": malformed component id")
+    | Some id -> (
+      match kind with
+      | "link_down" -> Ok (Link_down id)
+      | "link_up" -> Ok (Link_up id)
+      | "switch_down" -> Ok (Switch_down id)
+      | "switch_up" -> Ok (Switch_up id)
+      | _ -> Error (str ^ ": unknown event kind")))
+  | _ -> Error (str ^ ": expected KIND ID")
+
+let schedule_to_string s =
+  String.concat ""
+    (List.map
+       (fun { at; event } ->
+         Printf.sprintf "%d %s\n" at (event_to_string event))
+       s)
+
+let schedule_of_string str =
+  let ( let* ) = Result.bind in
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' str)
+  in
+  let* items =
+    List.fold_left
+      (fun acc line ->
+        let* acc = acc in
+        let line = String.trim line in
+        match String.index_opt line ' ' with
+        | None -> Error (line ^ ": expected TIME KIND ID")
+        | Some i -> (
+          match int_of_string_opt (String.sub line 0 i) with
+          | None -> Error (line ^ ": malformed time")
+          | Some at ->
+            let* event =
+              event_of_string
+                (String.sub line (i + 1) (String.length line - i - 1))
+            in
+            Ok ({ at; event } :: acc)))
+      (Ok []) lines
+  in
+  Ok (List.rev items)
+
+(* --- Schedule surgery (fuzzer mutations) ------------------------------ *)
+
+(* Each operator returns a sorted schedule and preserves {!validate}'s
+   invariants given valid inputs: times are clamped to [[0, horizon]] and
+   retargeting only ever picks component ids that exist in the graph.
+   Operators are deterministic in the rng, which is what lets a fuzz run
+   replay byte-identically from its campaign seed. *)
+
+let nth_item s i = List.nth s i
+
+let clamp_at ~horizon at = Stdlib.max 0 (Stdlib.min at horizon)
+
+let splice ~rng a b =
+  match (a, b) with
+  | [], s | s, [] -> sort s
+  | _ ->
+    let last s =
+      List.fold_left (fun acc it -> Time.max acc it.at) Time.zero s
+    in
+    let hi = 1 + Stdlib.max (last a) (last b) in
+    let cut = Rng.int rng hi in
+    sort
+      (List.filter (fun it -> it.at < cut) a
+      @ List.filter (fun it -> it.at >= cut) b)
+
+let duplicate_one ~rng ~horizon s =
+  match s with
+  | [] -> []
+  | _ ->
+    let it = nth_item s (Rng.int rng (List.length s)) in
+    let jitter = Rng.int rng (Stdlib.max 2 (horizon / 8)) in
+    let at =
+      clamp_at ~horizon
+        (if Rng.bool rng then Time.add it.at jitter else Time.sub it.at jitter)
+    in
+    sort ({ it with at } :: s)
+
+let shift_one ~rng ~horizon s =
+  match s with
+  | [] -> []
+  | _ ->
+    let i = Rng.int rng (List.length s) in
+    let delta = 1 + Rng.int rng (Stdlib.max 1 (horizon / 4)) in
+    sort
+      (List.mapi
+         (fun j it ->
+           if j <> i then it
+           else
+             let at =
+               clamp_at ~horizon
+                 (if Rng.bool rng then Time.add it.at delta
+                  else Time.sub it.at delta)
+             in
+             { it with at })
+         s)
+
+let retarget_one ~rng ~graph s =
+  match s with
+  | [] -> []
+  | _ ->
+    let links =
+      List.map (fun (l : Graph.link) -> l.id) (Graph.links graph)
+    in
+    let switches = Graph.switches graph in
+    let i = Rng.int rng (List.length s) in
+    sort
+      (List.mapi
+         (fun j it ->
+           if j <> i then it
+           else
+             let event =
+               match it.event with
+               | Link_down _ when links <> [] -> Link_down (Rng.pick rng links)
+               | Link_up _ when links <> [] -> Link_up (Rng.pick rng links)
+               | Switch_down _ when switches <> [] ->
+                 Switch_down (Rng.pick rng switches)
+               | Switch_up _ when switches <> [] ->
+                 Switch_up (Rng.pick rng switches)
+               | e -> e
+             in
+             { it with event })
+         s)
+
+let drop_one ~rng s =
+  match s with
+  | [] | [ _ ] -> sort s
+  | _ ->
+    let i = Rng.int rng (List.length s) in
+    sort (List.filteri (fun j _ -> j <> i) s)
+
+(* [merge] and [thin] are the fuzzer's range-expanding pair: the point
+   operators above keep a schedule's event count within +-1 of its
+   parent, so a mutation-only fuzzer could never leave the density band
+   the generator draws from.  Merging doubles the fault density in one
+   step; thinning halves it. *)
+
+let merge a b = List.merge compare_item (sort a) (sort b)
+
+(* The time-dilation pair.  Density in *time* is the axis neither the
+   generator nor the operators above move: stretching gives every fault
+   its own quiet window (distinct reconfigurations), squeezing piles
+   faults into the same detection windows (superseded epochs, skeptic
+   backoffs).  Both are monotone maps of the timestamps, so sortedness
+   survives up to ties, which [sort] re-normalizes. *)
+
+let stretch s = sort (List.map (fun it -> { it with at = 2 * it.at }) s)
+
+let squeeze s = sort (List.map (fun it -> { it with at = it.at / 2 }) s)
+
+let thin ~rng s =
+  match s with
+  | [] | [ _ ] -> sort s
+  | _ ->
+    let kept = List.filter (fun _ -> Rng.bool rng) s in
+    (* Keep at least one item so a thinned schedule stays a schedule. *)
+    sort (if kept = [] then [ nth_item s (Rng.int rng (List.length s)) ] else kept)
+
 let pp ppf s =
   Format.fprintf ppf "@[<v>";
   List.iter

@@ -68,4 +68,82 @@ val random :
     least one switch always stays powered (an all-dark network has no live
     component for the oracle to check).  Deterministic in [rng]'s seed. *)
 
+(** {1 Validation}
+
+    The invariants every schedule handed to the simulator (and every
+    schedule the fuzzer's mutation operators emit) must satisfy. *)
+
+val validate : ?graph:Graph.t -> schedule -> (unit, string) result
+(** [Ok ()] iff the schedule is sorted per {!sort}'s order (time, then the
+    deterministic {!compare_event} tiebreak), every time is non-negative
+    and every component id is non-negative.  With [graph], link and switch
+    ids must additionally exist in the graph.  The error names the first
+    offending item. *)
+
+(** {1 Serialization}
+
+    A schedule serializes as one item per line — ["TIME KIND ID"], e.g.
+    ["5000000 link_down 3"], times in integer nanoseconds — the format of
+    fuzz-corpus files and the [test/seeds/] regression corpus. *)
+
+val event_to_string : event -> string
+val event_of_string : string -> (event, string) result
+
+val schedule_to_string : schedule -> string
+(** One item per line, newline-terminated; [""] for the empty schedule. *)
+
+val schedule_of_string : string -> (schedule, string) result
+(** Inverse of {!schedule_to_string}; blank lines are skipped.  Does not
+    validate — run {!validate} on the result. *)
+
+(** {1 Schedule surgery}
+
+    The fuzzer's mutation operators.  Each is deterministic in the rng,
+    returns a sorted schedule, and preserves {!validate}'s invariants for
+    valid inputs: mutated times are clamped to [[0, horizon]] and
+    {!retarget_one} only picks component ids present in the graph.  An
+    empty schedule passes through unchanged. *)
+
+val splice : rng:Autonet_sim.Rng.t -> schedule -> schedule -> schedule
+(** Crossover: a random cut instant; items of the first schedule strictly
+    before the cut, items of the second at or after it. *)
+
+val duplicate_one :
+  rng:Autonet_sim.Rng.t -> horizon:Autonet_sim.Time.t -> schedule -> schedule
+(** Copy one random item to a jittered nearby instant — the operator that
+    grows schedules past what {!random} generates. *)
+
+val shift_one :
+  rng:Autonet_sim.Rng.t -> horizon:Autonet_sim.Time.t -> schedule -> schedule
+(** Move one random item by a random delta (either direction). *)
+
+val retarget_one :
+  rng:Autonet_sim.Rng.t -> graph:Graph.t -> schedule -> schedule
+(** Re-aim one random item at a different component of the same kind
+    (links stay links, switches stay switches). *)
+
+val drop_one : rng:Autonet_sim.Rng.t -> schedule -> schedule
+(** Remove one random item; a schedule of one item is returned intact so
+    mutation never manufactures the empty schedule. *)
+
+val merge : schedule -> schedule -> schedule
+(** The sorted union of two schedules — the fuzzer's density-doubling
+    move, since the point operators above never change an event count by
+    more than one. *)
+
+val thin : rng:Autonet_sim.Rng.t -> schedule -> schedule
+(** Keep each item with probability 1/2 (at least one survives) — the
+    density-halving inverse of {!merge}, reaching sparse schedules the
+    generator's fixed event budget never draws. *)
+
+val stretch : schedule -> schedule
+(** Double every timestamp: the same faults, spread out — each gets its
+    own quiet window and its own reconfiguration.  Mutated schedules may
+    exceed the horizon the generator drew under; campaigns run to the
+    last fault regardless. *)
+
+val squeeze : schedule -> schedule
+(** Halve every timestamp: the same faults, piled into the same
+    detection windows — superseded epochs and skeptic pressure. *)
+
 val pp : Format.formatter -> schedule -> unit

@@ -185,6 +185,170 @@ let test_investigate_artifact () =
     (contains "shrunk schedule (1 items)");
   check_bool "artifact includes the log" true (contains "merged event log")
 
+(* A schedule that powers off every switch leaves no live component, so
+   the network can never converge — the run must report Not_converged
+   within the sim-time timeout, not spin forever.  (Regression: the
+   fuzzer's retarget mutation reached this state — the blind generator
+   never does — and the engine froze the clock on the dead network's
+   empty queue, livelocking run_until_converged.) *)
+let test_all_switches_down_times_out () =
+  let schedule =
+    F.sort
+      (List.concat_map
+         (fun s -> F.switch_crash ~switch:s ~at:(Time.ms (50 * (s + 1))))
+         [ 0; 1; 2; 3 ])
+  in
+  let _, vs = Chaos.run_schedule tiny ~seed:13L ~schedule in
+  check_bool "not converged" true (List.mem Oracle.Not_converged vs)
+
+(* ------------------------------------------------------------------ *)
+(* Coverage-guided fuzzing *)
+
+module Fuzz = Autonet_chaos.Fuzz
+
+(* Span capped at 4 horizons: stretched monster schedules are the bench
+   gate's business; here they only burn test time. *)
+let fuzz_tiny =
+  { (Fuzz.default tiny) with Fuzz.budget = 24; batch = 4; max_span = 4 }
+
+(* The fuzz loop's determinism contract: same seed, same corpus and the
+   same coverage, whatever the domain count — candidates are generated
+   sequentially from one rng and results folded in submission order. *)
+let test_fuzz_deterministic_across_pools () =
+  let run domains =
+    let pool = Pool.create ~domains () in
+    let r = Fuzz.run ~pool fuzz_tiny ~seed:11L in
+    Pool.shutdown pool;
+    r
+  in
+  let r1 = run 1 in
+  let r2 = run 2 in
+  check_int "budget spent" 24 r1.Fuzz.r_executed;
+  check_bool "corpus nonempty" true (r1.Fuzz.r_corpus <> []);
+  check_int "distinct = corpus size" (List.length r1.Fuzz.r_corpus)
+    r1.Fuzz.r_distinct;
+  check_bool "corpora byte-identical" true
+    (Fuzz.corpus_to_string r1.Fuzz.r_corpus
+    = Fuzz.corpus_to_string r2.Fuzz.r_corpus);
+  check_int "cells identical" r1.Fuzz.r_cells r2.Fuzz.r_cells;
+  check_bool "failures identical" true (r1.Fuzz.r_failures = r2.Fuzz.r_failures)
+
+let test_fuzz_corpus_roundtrip () =
+  let r = Fuzz.run ~pool:(Pool.default ()) fuzz_tiny ~seed:11L in
+  match Fuzz.corpus_of_string (Fuzz.corpus_to_string r.Fuzz.r_corpus) with
+  | Error e -> Alcotest.failf "corpus parse failed: %s" e
+  | Ok c ->
+    check_bool "round trip preserves entries" true (c = r.Fuzz.r_corpus);
+    (* Merging a corpus with itself adds nothing new. *)
+    check_bool "self-merge is identity" true
+      (Fuzz.merge_corpora [ r.Fuzz.r_corpus; r.Fuzz.r_corpus ]
+      = Fuzz.merge_corpora [ r.Fuzz.r_corpus ])
+
+(* A hook that throws mid-schedule must surface as a Check_raised
+   violation with the telemetry of the failing run attached to the
+   artifact — not tear down the campaign. *)
+let test_check_raised_artifact () =
+  let hook _ = failwith "oracle bug" in
+  let a = Chaos.investigate ~hook ~log_tail:20 tiny ~seed:3L ~index:0 in
+  check_bool "check-raised captured" true
+    (List.exists
+       (function Oracle.Check_raised _ -> true | _ -> false)
+       a.Chaos.a_violations);
+  check_bool "label renders" true
+    (List.mem "check-raised" (List.map Oracle.label a.Chaos.a_violations));
+  check_bool "telemetry snapshot attached" true (a.Chaos.a_metrics <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Regression seed corpus *)
+
+(* Every test/seeds/*.seed replays through the full oracle; an empty
+   violation list means the pinned regression stays fixed. *)
+let test_seed_corpus () =
+  (* cwd is test/ under `dune runtest`; accept the repo root too. *)
+  let dir = if Sys.file_exists "seeds" then "seeds" else "test/seeds" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".seed")
+    |> List.sort compare
+  in
+  check_bool "seed corpus present" true (List.length files >= 2);
+  List.iter
+    (fun f ->
+      let ic = open_in (Filename.concat dir f) in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      match Fuzz.seed_file_of_string text with
+      | Error e -> Alcotest.failf "%s: parse failed: %s" f e
+      | Ok sf ->
+        (match Faults.validate sf.Fuzz.sf_schedule with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s: invalid schedule: %s" f e);
+        (match Fuzz.replay_seed sf with
+        | [] -> ()
+        | vs ->
+          Alcotest.failf "%s: regression violated: %s" f
+            (String.concat "," (List.map Oracle.label vs)));
+        (* The file format survives a round trip, so re-pinning a seed
+           from a corpus entry cannot corrupt it. *)
+        check_bool (f ^ " round trip") true
+          (Fuzz.seed_file_of_string (Fuzz.seed_file_to_string sf) = Ok sf))
+    files
+
+(* ------------------------------------------------------------------ *)
+(* Delta frontier: the fuzzer as a cross-check amplifier *)
+
+(* A pinned 200-schedule guided corpus replayed at 1, 2 and 4 domains:
+   the oracle's per-switch delta-vs-full cross-check runs after every
+   converged schedule, so any Delta_mismatch the mutated frontier can
+   reach would land in r_failures; the three corpora must also be
+   byte-identical (the shard-merge determinism story). *)
+let test_fuzz_delta_frontier () =
+  let cfg =
+    { (Fuzz.default tiny) with Fuzz.budget = 200; batch = 8; max_span = 4 }
+  in
+  let runs =
+    List.map
+      (fun domains ->
+        let pool = Pool.create ~domains () in
+        let r = Fuzz.run ~pool cfg ~seed:17L in
+        Pool.shutdown pool;
+        r)
+      [ 1; 2; 4 ]
+  in
+  let r1 = List.hd runs in
+  List.iter
+    (fun (r : Fuzz.result) ->
+      check_bool "corpus identical across domains" true
+        (Fuzz.corpus_to_string r.Fuzz.r_corpus
+        = Fuzz.corpus_to_string r1.Fuzz.r_corpus))
+    (List.tl runs);
+  List.iter
+    (fun (e : Fuzz.entry) ->
+      if List.mem "delta-mismatch" e.Fuzz.e_violations then
+        Alcotest.failf "delta mismatch on seed 0x%016Lx" e.Fuzz.e_seed)
+    (List.concat_map (fun (r : Fuzz.result) -> r.Fuzz.r_failures) runs)
+
+(* ------------------------------------------------------------------ *)
+(* Churn *)
+
+(* A short churn campaign: every heal converges, the periodic audits
+   pass, and the campaign is deterministic in its seed. *)
+let test_churn_short () =
+  let report = Fuzz.churn ~check_every:8 tiny ~seed:21L ~cycles:16 in
+  check_int "cycles" 16 report.Fuzz.ch_cycles;
+  check_bool "heals happened" true (report.Fuzz.ch_heals > 0);
+  check_int "no convergence timeouts" 0 report.Fuzz.ch_not_converged;
+  check_bool "audits ran" true (report.Fuzz.ch_oracle_checks >= 2);
+  check_bool "audits clean" true (report.Fuzz.ch_oracle_violations = []);
+  check_bool "epochs accumulated" true
+    (report.Fuzz.ch_epochs >= report.Fuzz.ch_heals);
+  let again = Fuzz.churn ~check_every:8 tiny ~seed:21L ~cycles:16 in
+  check_bool "deterministic" true
+    (again.Fuzz.ch_epochs = report.Fuzz.ch_epochs
+    && again.Fuzz.ch_max_heal = report.Fuzz.ch_max_heal
+    && again.Fuzz.ch_metrics = report.Fuzz.ch_metrics)
+
 let () =
   Alcotest.run "chaos"
     [ ( "seeds",
@@ -201,4 +365,20 @@ let () =
         [ Alcotest.test_case "hook, violation, shrink" `Slow
             test_hook_failure_and_shrink;
           Alcotest.test_case "investigate artifact" `Slow
-            test_investigate_artifact ] ) ]
+            test_investigate_artifact;
+          Alcotest.test_case "check-raised artifact keeps telemetry" `Slow
+            test_check_raised_artifact;
+          Alcotest.test_case "all switches down times out" `Quick
+            test_all_switches_down_times_out ] );
+      ( "fuzz",
+        [ Alcotest.test_case "deterministic across pools" `Slow
+            test_fuzz_deterministic_across_pools;
+          Alcotest.test_case "corpus round trip and merge" `Slow
+            test_fuzz_corpus_roundtrip;
+          Alcotest.test_case "pinned delta frontier, {1,2,4} domains" `Slow
+            test_fuzz_delta_frontier ] );
+      ( "seed corpus",
+        [ Alcotest.test_case "regression seed corpus replays clean" `Slow
+            test_seed_corpus ] );
+      ( "churn",
+        [ Alcotest.test_case "short churn campaign" `Slow test_churn_short ] ) ]

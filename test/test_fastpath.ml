@@ -575,6 +575,56 @@ let test_delta_structural () =
     (rebuild_graph ~drop_switch:root1 g1)
     (Graph.uid g1 survivor)
 
+(* An address-stable tree rotation must still classify Structural.  On
+   the line 0-1-2-3 the tree is the chain itself; adding link 3-0 closes
+   the ring and BFS re-parents switch 3 from 2 to the root.  Every
+   switch keeps its short address (survivors repropose what they hold),
+   so a classifier that only compared assignments would wrongly take the
+   fast path and commit tables routed over a stale tree. *)
+let test_delta_rotation_structural () =
+  let line n extra =
+    let g = Graph.create ~max_ports:4 () in
+    let sw =
+      List.init n (fun i ->
+          Graph.add_switch g ~uid:(Autonet_net.Uid.of_int (100 + i)))
+    in
+    List.iteri
+      (fun i s ->
+        if i + 1 < n then
+          ignore (Graph.connect g (s, 2) (List.nth sw (i + 1), 1)))
+      sw;
+    if extra then ignore (Graph.connect g (List.nth sw (n - 1), 3) (List.nth sw 0, 3));
+    g
+  in
+  let g1 = line 4 false in
+  let full1 =
+    full_epoch g1 ~proposals:(List.map (fun s -> (s, 1)) (Graph.switches g1))
+  in
+  let g2 = line 4 true in
+  let tree2 = Spanning_tree.compute g2 ~member:0 in
+  let asg2 = Address_assign.make g2 (proposals_after full1 g2) in
+  (* Premise: the rotation really is address-stable and really rotates. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "s%d keeps its address" s)
+        (Address_assign.number full1.f_asg s)
+        (Address_assign.number asg2 s))
+    (Graph.switches g2);
+  let parent_of tree s =
+    Option.map
+      (fun p -> p.Spanning_tree.parent_switch)
+      (Spanning_tree.parent tree s)
+  in
+  Alcotest.(check bool) "switch 3 re-parented" true
+    (parent_of full1.f_tree 3 <> parent_of tree2 3);
+  let root1 = Spanning_tree.root full1.f_tree in
+  let prev = commit_of full1 ~me:root1 ~root:true in
+  match Delta.classify ~prev ~graph:g2 ~tree:tree2 ~assignment:asg2 ~me:root1 with
+  | Delta.Structural _ -> ()
+  | Delta.Tree_preserving _ ->
+    Alcotest.fail "address-stable rotation took the fast path"
+
 let test_delta_knob () =
   let with_env v f =
     Unix.putenv "AUTONET_DELTA" v;
@@ -619,4 +669,6 @@ let () =
             test_delta_exercised;
           Alcotest.test_case "structural faults fall back" `Quick
             test_delta_structural;
+          Alcotest.test_case "address-stable rotation is structural" `Quick
+            test_delta_rotation_structural;
           Alcotest.test_case "AUTONET_DELTA knob" `Quick test_delta_knob ] ) ]

@@ -118,6 +118,23 @@ let test_engine_until () =
   Engine.run e ~until:150;
   check_int "more ticks" 15 !count
 
+(* An empty queue must not freeze the clock: [run ~until] means that
+   much simulated time passes whether or not anything is scheduled.
+   (Regression: a dead network froze [now], so sim-time deadlines polled
+   around [run] — Network.run_until_converged — spun forever.) *)
+let test_engine_until_empty_queue () =
+  let e = Engine.create () in
+  Engine.run e ~until:40;
+  check_int "idle time passes" 40 (Engine.now e);
+  let fired = ref false in
+  ignore (Engine.schedule e ~delay:5 (fun () -> fired := true));
+  Engine.run e ~until:100;
+  check_bool "event after idle gap fires" true !fired;
+  check_int "clock at horizon, queue drained" 100 (Engine.now e);
+  (* A shorter horizon never rolls the clock back. *)
+  Engine.run e ~until:50;
+  check_int "clock monotone" 100 (Engine.now e)
+
 let test_engine_nested_schedule () =
   let e = Engine.create () in
   let times = ref [] in
@@ -257,6 +274,8 @@ let () =
           Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
           Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "run until, empty queue" `Quick
+            test_engine_until_empty_queue;
           Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
           Alcotest.test_case "negative delay" `Quick test_engine_past_rejected;
           Alcotest.test_case "max events" `Quick test_engine_max_events ] );

@@ -299,6 +299,84 @@ let test_faults_random_properties () =
       s
   done
 
+(* Unit shapes of the range-expanding mutation pairs the fuzzer stacks:
+   merge interleaves two sorted schedules, thin halves density but never
+   empties, stretch/squeeze dilate the time axis by 2x either way. *)
+let test_faults_mutation_shapes () =
+  let ms = Autonet_sim.Time.ms in
+  let mk at event = { F.at = ms at; event } in
+  let a = [ mk 1 (F.Link_down 0); mk 5 (F.Switch_down 1) ] in
+  let b = [ mk 3 (F.Link_up 0) ] in
+  check_bool "merge interleaves sorted" true
+    (F.merge a b
+    = [ mk 1 (F.Link_down 0); mk 3 (F.Link_up 0); mk 5 (F.Switch_down 1) ]);
+  check_bool "stretch doubles every instant" true
+    (F.stretch a = [ mk 2 (F.Link_down 0); mk 10 (F.Switch_down 1) ]);
+  check_bool "squeeze halves every instant" true
+    (F.squeeze (F.stretch a) = a);
+  check_bool "squeeze floors to zero" true
+    (F.squeeze [ { F.at = 1; event = F.Link_down 0 } ]
+    = [ { F.at = 0; event = F.Link_down 0 } ]);
+  (* thin keeps a survivor even when every coin comes up drop. *)
+  for seed = 0 to 31 do
+    let rng = Autonet_sim.Rng.create ~seed:(Int64.of_int seed) in
+    check_bool "thin never empties" true
+      (F.thin ~rng [ mk 4 (F.Link_down 2) ] = [ mk 4 (F.Link_down 2) ])
+  done
+
+(* The contract the coverage-guided fuzzer rests on: however the mutation
+   operators are stacked, the result still passes [validate ~graph],
+   replays byte-identically when the rng seed is replayed, and survives a
+   serialization round trip. *)
+let mutation_stack_property seed64 =
+  let g = (B.torus ~rows:3 ~cols:3 ()).B.graph in
+  let horizon = Autonet_sim.Time.ms 500 in
+  let build seed =
+    let rng = Autonet_sim.Rng.create ~seed in
+    let fresh () =
+      F.random
+        ~rng:(Autonet_sim.Rng.create ~seed:(Autonet_sim.Rng.next64 rng))
+        ~graph:g ~horizon ~events:4
+    in
+    let apply s = function
+      | 0 -> F.shift_one ~rng ~horizon s
+      | 1 -> F.retarget_one ~rng ~graph:g s
+      | 2 -> F.drop_one ~rng s
+      | 3 -> F.duplicate_one ~rng ~horizon s
+      | 4 -> F.splice ~rng s (fresh ())
+      | 5 -> F.merge s (fresh ())
+      | 6 -> F.thin ~rng s
+      | 7 -> F.stretch s
+      | _ -> F.squeeze s
+    in
+    let rec go s k =
+      if k = 0 then s else go (apply s (Autonet_sim.Rng.int rng 9)) (k - 1)
+    in
+    go
+      (F.random ~rng ~graph:g ~horizon ~events:8)
+      (1 + Autonet_sim.Rng.int rng 8)
+  in
+  let s = build seed64 in
+  (match F.validate ~graph:g s with
+  | Ok () -> ()
+  | Error e -> QCheck.Test.fail_reportf "mutated schedule invalid: %s" e);
+  if build seed64 <> s then
+    QCheck.Test.fail_report "mutation stack is not deterministic in the seed";
+  (match F.schedule_of_string (F.schedule_to_string s) with
+  | Ok s' when s' = s -> ()
+  | Ok _ -> QCheck.Test.fail_report "serialization round trip changed the schedule"
+  | Error e -> QCheck.Test.fail_reportf "round trip parse failed: %s" e);
+  true
+
+let mutation_qcheck =
+  QCheck.Test.make
+    ~name:
+      "stacked mutation operators preserve validity, seed determinism and \
+       the serialization round trip"
+    ~count:100
+    QCheck.(map Int64.of_int (int_bound 1_000_000))
+    mutation_stack_property
+
 let () =
   Alcotest.run "topo"
     [ ( "builders",
@@ -323,4 +401,7 @@ let () =
           Alcotest.test_case "random deterministic" `Quick
             test_faults_random_deterministic;
           Alcotest.test_case "random properties" `Quick
-            test_faults_random_properties ] ) ]
+            test_faults_random_properties;
+          Alcotest.test_case "mutation shapes" `Quick
+            test_faults_mutation_shapes;
+          QCheck_alcotest.to_alcotest mutation_qcheck ] ) ]
