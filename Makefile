@@ -1,5 +1,6 @@
 .PHONY: all test bench bench-smoke bench-scaling bench-delta bench-fuzz \
-	bench-json chaos-smoke chaos-smoke-4 telemetry-smoke fuzz-smoke clean
+	bench-json chaos-smoke chaos-smoke-4 telemetry-smoke trace-smoke \
+	fuzz-smoke clean
 
 all:
 	dune build @all
@@ -47,6 +48,13 @@ chaos-smoke-4:
 # and stdout + trace must be byte-identical at 1, 2 and 4 domains.
 telemetry-smoke:
 	dune build @telemetry-smoke
+
+# One SRC and one 256-switch-torus reconfiguration with causal tracing
+# on: the reconstructed propagation wave must cover every configured
+# switch exactly once with valid parent hops, and the JSON dump must be
+# byte-identical at 1, 2 and 4 domains.
+trace-smoke:
+	dune build @trace-smoke
 
 # The coverage-guided fuzz gate at smoke budget: guided must beat blind
 # sampling and reproduce byte-identically, and the short churn campaign

@@ -2,15 +2,17 @@
 
    The instrumentation is designed to be left compiled into the hot
    paths: a disabled counter bump is one load and one branch, a disabled
-   timeline mark likewise.  This experiment prices that claim with
-   wall-clock runs of a full boot plus one link-failure reconfiguration,
-   in the three modes {!Autonet.Network.telemetry_mode} offers:
+   timeline mark likewise, and a disabled causal-trace milestone the
+   same again.  This experiment prices that claim with wall-clock runs
+   of a full boot plus one link-failure reconfiguration, in the three
+   modes {!Autonet.Network.telemetry_mode} offers:
 
-   - [`Off]: no registry or timeline exist — the pilots hold no
-     instruments at all (the compiled-out baseline);
+   - [`Off]: no registry, timeline or causal store exist — the pilots
+     hold no instruments at all (the compiled-out baseline);
    - [`Disabled]: every instrument exists but counts nothing (the
      default shipping configuration);
-   - [`On]: everything counts.
+   - [`On]: everything counts, including the per-switch causal spans,
+     propagation parentage and flight recorders.
 
    The runs are seeded identically, so all three modes execute the same
    simulation event for event; any wall-clock difference is the
@@ -124,11 +126,13 @@ let e17 () =
   let worst_pct, worst_topo = !worst in
   if worst_pct < 3.0 then
     Printf.printf
-      "assert: disabled-telemetry overhead %.2f%% (worst, %s) < 3%% -- PASS\n\n"
+      "assert: disabled telemetry+tracing overhead %.2f%% (worst, %s) < 3%% \
+       -- PASS\n\n"
       worst_pct worst_topo
   else begin
     Printf.printf
-      "assert: disabled-telemetry overhead %.2f%% (worst, %s) >= 3%% -- FAIL\n\n"
+      "assert: disabled telemetry+tracing overhead %.2f%% (worst, %s) >= 3%% \
+       -- FAIL\n\n"
       worst_pct worst_topo;
     exit 1
   end

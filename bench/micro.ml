@@ -277,11 +277,13 @@ let json_of_topology buf (name, g, dia, rows) =
    compiled out, present but disabled, and counting.
    [disabled_overhead_pct] is clamped at zero (a measured cost cannot be
    negative); [raw_pct] keeps the signed delta so the noise floor is
-   still on record. *)
+   still on record.  Since v6 the measured modes also carry the causal
+   tracing store (per-switch milestones, propagation parentage, flight
+   recorders), flagged by [includes_causal_tracing]. *)
 let json_of_overhead buf (o : Exp_telemetry.overhead) =
   Printf.bprintf buf
     "  \"telemetry_overhead\": {\n\
-    \    \"topology\": %S, \"repeats\": %d,\n\
+    \    \"topology\": %S, \"repeats\": %d, \"includes_causal_tracing\": true,\n\
     \    \"off_s\": %.4f, \"disabled_s\": %.4f, \"on_s\": %.4f,\n\
     \    \"disabled_overhead_pct\": %.2f, \"raw_pct\": %.2f, \"on_overhead_pct\": %.2f\n\
     \  },\n"
@@ -312,7 +314,7 @@ let json_of_delta buf (m : Exp_delta.meas) =
 let write_json path ~domains ~overhead ~delta topologies =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf
-    "{\n  \"schema\": \"autonet-bench-micro\",\n  \"version\": 5,\n  \"quota_s\": %.3f,\n  \"smoke\": %b,\n  \"domains\": %d,\n  \"cores\": %d,\n"
+    "{\n  \"schema\": \"autonet-bench-micro\",\n  \"version\": 6,\n  \"quota_s\": %.3f,\n  \"smoke\": %b,\n  \"domains\": %d,\n  \"cores\": %d,\n"
     (quota_s ()) !smoke domains
     (Domain.recommended_domain_count ());
   json_of_overhead buf overhead;

@@ -21,6 +21,7 @@ module Chaos = Autonet_chaos.Chaos
 module Fuzz = Autonet_chaos.Fuzz
 module Metrics = Autonet_telemetry.Metrics
 module Timeline = Autonet_telemetry.Timeline
+module Causal = Autonet_telemetry.Causal
 module Json = Autonet_telemetry.Json
 module Report = Autonet_analysis.Report
 open Cmdliner
@@ -168,6 +169,16 @@ let cmd_srp spec seed hosts params_name route =
 
 (* --- Telemetry --- *)
 
+(* Deterministic span clock: one microsecond per call.  Compute spans
+   measured on it are byte-identical across runs and domain counts, so
+   the telemetry and trace smoke rules can cmp full stdout without
+   pinning AUTONET_DELTA=0. *)
+let tick_clock () =
+  let c = ref 0 in
+  fun () ->
+    incr c;
+    float_of_int !c *. 1e-6
+
 let write_trace_json tl path =
   let s = Json.to_string (Timeline.to_trace_json tl) in
   if path = "-" then print_endline s
@@ -200,6 +211,7 @@ let cmd_telemetry spec seed hosts params_name fault show_metrics json spans
   in
   let net =
     N.create ~params ~seed:(Int64.of_int seed) ~telemetry:`On
+      ~span_clock:(tick_clock ())
       (build_topo spec seed hosts)
   in
   N.start net;
@@ -255,6 +267,90 @@ let cmd_telemetry spec seed hosts params_name fault show_metrics json spans
     in
     if complete = 0 then fail "no complete epoch in the timeline";
     Format.printf "telemetry check: ok (%d complete epochs)@." complete
+  end
+
+(* --- Causal tracing --- *)
+
+let write_causal_trace_json cz path =
+  let s = Json.to_string (Causal.to_trace_json cz) in
+  if path = "-" then print_endline s
+  else begin
+    let oc = open_out path in
+    output_string oc s;
+    output_char oc '\n';
+    close_out oc;
+    (* stderr, like write_trace_json: stdout must stay byte-comparable
+       across domain counts even when the file name encodes one. *)
+    Format.eprintf "wrote %s@." path
+  end
+
+let cmd_trace spec seed hosts params_name fault json spans check =
+  let params =
+    match Params.preset params_name with
+    | Some p -> p
+    | None -> invalid_arg (params_name ^ ": expected naive | tuned | fast")
+  in
+  let net =
+    N.create ~params ~seed:(Int64.of_int seed) ~telemetry:`On
+      ~span_clock:(tick_clock ())
+      (build_topo spec seed hosts)
+  in
+  N.start net;
+  if not (boot_and_report net) then exit 1;
+  (match parse_fault net fault with
+  | None -> ()
+  | Some ev ->
+    Format.printf "triggering %s...@." fault;
+    (match
+       N.measure_reconfiguration ~timeout:(Time.s 300) net
+         ~trigger:(fun net -> N.apply_fault net ev)
+     with
+    | Some m -> Format.printf "%a@." N.pp_measure m
+    | None ->
+      Format.printf "did not reconverge@.";
+      exit 1));
+  let cz = match N.causal net with Some c -> c | None -> assert false in
+  if json then
+    print_endline (Json.to_string (Causal.to_json cz))
+  else
+    List.iter
+      (fun w -> Format.printf "%a@." Causal.pp_wave w)
+      (Causal.waves cz);
+  (match spans with
+  | None -> ()
+  | Some path -> write_causal_trace_json cz path);
+  if check then begin
+    (* The smoke contract: what we emit must re-parse, and the last
+       healed wave must be a complete, well-formed propagation forest —
+       every configured switch exactly once, every join via a valid
+       parent hop. *)
+    let fail msg =
+      Format.printf "trace check: %s@." msg;
+      exit 1
+    in
+    (match Json.parse (Json.to_string (Causal.to_json cz)) with
+    | Error e -> fail ("causal JSON does not parse: " ^ e)
+    | Ok _ -> ());
+    match Causal.last_complete cz with
+    | None -> fail "no complete wave"
+    | Some w ->
+      (match Causal.validate_wave w with
+      | Error e -> fail e
+      | Ok () -> ());
+      let configured =
+        List.filter
+          (fun s -> AP.configured (N.autopilot net s))
+          (Graph.switches (N.graph net))
+      in
+      (* w_nodes carries one entry per switch, ascending — so a plain
+         list compare is the exactly-once check. *)
+      let in_wave = List.map (fun n -> n.Causal.n_switch) w.Causal.w_nodes in
+      if in_wave <> configured then
+        fail
+          (Printf.sprintf "wave covers %d switch(es), %d configured"
+             (List.length in_wave) (List.length configured));
+      Format.printf "trace check: ok (epoch %Ld, %d switches, depth %d)@."
+        w.Causal.w_epoch (List.length in_wave) w.Causal.w_depth
   end
 
 (* --- Chaos campaigns --- *)
@@ -623,4 +719,43 @@ let () =
                         ~doc:
                           "Validate the emitted JSON: it must re-parse, \
                            and the phase spans must nest inside their \
-                           epoch and sum to its duration.")) ]))
+                           epoch and sum to its duration."));
+            Cmd.v
+              (Cmd.info "trace"
+                 ~doc:
+                   "Boot a network with causal tracing on, trigger one \
+                    reconfiguration, and reconstruct each epoch's \
+                    propagation wave: who heard the epoch from whom, \
+                    when, and where the heal latency went.")
+              Term.(
+                const cmd_trace $ topo_arg $ seed_arg $ hosts_arg
+                $ params_arg
+                $ Arg.(
+                    value & opt string "link:0"
+                    & info [ "fault" ] ~docv:"FAULT"
+                        ~doc:
+                          "Reconfiguration trigger after boot: none | \
+                           link:N | switch:N.")
+                $ Arg.(
+                    value & flag
+                    & info [ "json" ]
+                        ~doc:
+                          "Print the waves and flight recorders as one \
+                           JSON object on stdout instead of the ASCII \
+                           propagation trees.")
+                $ Arg.(
+                    value & opt (some string) None
+                    & info [ "spans" ] ~docv:"FILE"
+                        ~doc:
+                          "Write the per-switch span tracks as Chrome \
+                           trace_event JSON to FILE (- for stdout); one \
+                           track per switch, complementing the per-epoch \
+                           tracks of the telemetry command.")
+                $ Arg.(
+                    value & flag
+                    & info [ "check" ]
+                        ~doc:
+                          "Validate the last healed wave: the JSON must \
+                           re-parse and the propagation forest must \
+                           cover every configured switch exactly once \
+                           with valid parent hops.")) ]))

@@ -6,6 +6,7 @@ module Time = Autonet_sim.Time
 module Rng = Autonet_sim.Rng
 module Metrics = Autonet_telemetry.Metrics
 module Timeline = Autonet_telemetry.Timeline
+module Causal = Autonet_telemetry.Causal
 
 type telemetry_mode = [ `Off | `Disabled | `On ]
 
@@ -18,23 +19,29 @@ type t = {
   pilots : Autopilot.t array;
   net_metrics : Metrics.t option;
   net_timeline : Timeline.t option;
+  net_causal : Causal.t option;
 }
 
 let create ?(params = Params.tuned) ?(seed = 1L) ?(telemetry = `Disabled)
-    (topo : Autonet_topo.Builders.t) =
+    ?span_clock (topo : Autonet_topo.Builders.t) =
   let engine = Engine.create () in
   let net_rng = Rng.create ~seed in
   let fabric =
     Fabric.create ~engine ~graph:topo.Autonet_topo.Builders.graph ~params
       ~rng:(Rng.split net_rng)
   in
-  let net_metrics, net_timeline =
+  let g = topo.Autonet_topo.Builders.graph in
+  let switches = Graph.switch_count g in
+  let net_metrics, net_timeline, net_causal =
     match telemetry with
-    | `Off -> (None, None)
-    | `Disabled -> (Some (Metrics.create ()), Some (Timeline.create ()))
+    | `Off -> (None, None, None)
+    | `Disabled ->
+      (Some (Metrics.create ()), Some (Timeline.create ()),
+       Some (Causal.create ~switches ()))
     | `On ->
       (Some (Metrics.create ~enabled:true ()),
-       Some (Timeline.create ~enabled:true ()))
+       Some (Timeline.create ~enabled:true ()),
+       Some (Causal.create ~enabled:true ~switches ()))
   in
   (* Register the snapshot-time gauges up front so a disabled snapshot
      lists the same instruments (at zero) as an enabled one. *)
@@ -43,19 +50,21 @@ let create ?(params = Params.tuned) ?(seed = 1L) ?(telemetry = `Disabled)
     ignore (Metrics.gauge m "engine.events_executed");
     ignore (Metrics.gauge m "engine.max_queue_length");
     ignore (Metrics.gauge m "fabric.packets_sent");
-    ignore (Metrics.gauge m "fabric.bytes_sent")
+    ignore (Metrics.gauge m "fabric.bytes_sent");
+    ignore (Metrics.gauge m "causal.wave_depth");
+    ignore (Metrics.gauge m "causal.wave_fanout");
+    ignore (Metrics.gauge m "causal.wave_critical_hops")
   | None -> ());
-  let g = topo.Autonet_topo.Builders.graph in
   let pilots =
-    Array.init (Graph.switch_count g) (fun s ->
+    Array.init switches (fun s ->
         (* Real switch clocks drift; skews make the merged-log tooling
            meaningful. *)
         let clock_skew = Time.us (Rng.int net_rng 200) - Time.us 100 in
         Autopilot.create ~fabric ~switch:s ~clock_skew ?metrics:net_metrics
-          ?timeline:net_timeline ())
+          ?timeline:net_timeline ?causal:net_causal ?span_clock ())
   in
   { engine; fabric; net_graph = g; net_params = params; net_rng; pilots;
-    net_metrics; net_timeline }
+    net_metrics; net_timeline; net_causal }
 
 let engine t = t.engine
 let fabric t = t.fabric
@@ -69,9 +78,11 @@ let now t = Engine.now t.engine
 
 let metrics t = t.net_metrics
 let timeline t = t.net_timeline
+let causal t = t.net_causal
 
 let set_telemetry_enabled t v =
   (match t.net_metrics with Some m -> Metrics.set_enabled m v | None -> ());
+  (match t.net_causal with Some c -> Causal.set_enabled c v | None -> ());
   match t.net_timeline with Some tl -> Timeline.set_enabled tl v | None -> ()
 
 let telemetry_snapshot t =
@@ -89,6 +100,15 @@ let telemetry_snapshot t =
       (Metrics.gauge m "fabric.packets_sent")
       fs.Fabric.packets_sent;
     Metrics.set_gauge (Metrics.gauge m "fabric.bytes_sent") fs.Fabric.bytes_sent;
+    (* Wave-shape gauges from the most recent fully-healed epoch. *)
+    (match Option.bind t.net_causal Causal.last_complete with
+    | Some w ->
+      Metrics.set_gauge (Metrics.gauge m "causal.wave_depth") w.Causal.w_depth;
+      Metrics.set_gauge (Metrics.gauge m "causal.wave_fanout") w.Causal.w_fanout;
+      Metrics.set_gauge
+        (Metrics.gauge m "causal.wave_critical_hops")
+        (Stdlib.max 0 (List.length w.Causal.w_critical - 1))
+    | None -> ());
     Metrics.snapshot m
 
 let mark_detection t =
@@ -203,6 +223,19 @@ let apply_fault t event =
      interval from here to the first epoch start is what the monitors and
      skeptics took to notice. *)
   mark_detection t;
+  (* It also seeds a causal wave origin: epochs the fault provokes trace
+     their heal latency back to this instant. *)
+  (match t.net_causal with
+  | Some c ->
+    let label =
+      match event with
+      | Autonet_topo.Faults.Link_down l -> Printf.sprintf "link_down:%d" l
+      | Autonet_topo.Faults.Link_up l -> Printf.sprintf "link_up:%d" l
+      | Autonet_topo.Faults.Switch_down s -> Printf.sprintf "switch_down:%d" s
+      | Autonet_topo.Faults.Switch_up s -> Printf.sprintf "switch_up:%d" s
+    in
+    Causal.note_fault c ~time:(now t) ~label
+  | None -> ());
   match event with
   | Autonet_topo.Faults.Link_down l -> Fabric.fail_link t.fabric l
   | Autonet_topo.Faults.Link_up l -> Fabric.repair_link t.fabric l

@@ -28,10 +28,14 @@ val create :
   ?params:Params.t ->
   ?seed:int64 ->
   ?telemetry:telemetry_mode ->
+  ?span_clock:(unit -> float) ->
   Autonet_topo.Builders.t ->
   t
 (** [params] defaults to {!Params.tuned}; [seed] (default 1) drives clock
-    skews and any stochastic behaviour. *)
+    skews and any stochastic behaviour.  [span_clock] replaces the wall
+    clock the delta compute spans are measured on; inject a
+    deterministic tick and the recorded spans are byte-identical across
+    runs and domain counts. *)
 
 val engine : t -> Autonet_sim.Engine.t
 val fabric : t -> Fabric.t
@@ -100,14 +104,22 @@ val metrics : t -> Autonet_telemetry.Metrics.t option
 val timeline : t -> Autonet_telemetry.Timeline.t option
 (** The reconfiguration phase timeline; [None] in [`Off] mode. *)
 
+val causal : t -> Autonet_telemetry.Causal.t option
+(** The causal trace store shared by every pilot — per-switch epoch
+    milestones, propagation parentage and flight recorders; [None] in
+    [`Off] mode. *)
+
 val set_telemetry_enabled : t -> bool -> unit
-(** Flip both the registry and the timeline (no-op in [`Off] mode). *)
+(** Flip the registry, the timeline and the causal store (no-op in
+    [`Off] mode). *)
 
 val telemetry_snapshot : t -> Autonet_telemetry.Metrics.snapshot
 (** The registry's snapshot, with the engine and fabric gauges
     ([engine.events_executed], [engine.max_queue_length],
-    [fabric.packets_sent], [fabric.bytes_sent]) refreshed first.  Empty
-    in [`Off] mode. *)
+    [fabric.packets_sent], [fabric.bytes_sent]) refreshed first, plus
+    the wave-shape gauges ([causal.wave_depth], [causal.wave_fanout],
+    [causal.wave_critical_hops]) from the most recent fully-healed
+    epoch.  Empty in [`Off] mode. *)
 
 (** {1 Inspection} *)
 

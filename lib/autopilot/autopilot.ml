@@ -6,6 +6,7 @@ module Forwarding_table = Autonet_switch.Forwarding_table
 module Port_vector = Autonet_switch.Port_vector
 module Metrics = Autonet_telemetry.Metrics
 module Timeline = Autonet_telemetry.Timeline
+module Causal = Autonet_telemetry.Causal
 
 type flood_info = { fi_parent : int option; fi_children : int list }
 
@@ -34,6 +35,14 @@ type t = {
   log : Event_log.t;
   counters : tel_counters option;
   timeline : Timeline.t option;
+  causal : Causal.t option;
+  span_clock : (unit -> float) option;
+      (* when set, compute spans read this instead of the wall clock *)
+  mutable tr_hop : int;
+      (* our hop count from the current epoch's initiator; rides outgoing
+         reconfiguration messages as the sideband trace context *)
+  mutable tr_origin : int;
+      (* the fault id the current epoch traces back to (0: boot) *)
   mutable monitor : Port_monitor.t option;
   mutable reconfig : Reconfig.t option;
   mutable is_powered : bool;
@@ -103,11 +112,36 @@ let stats t =
 
 let set_on_configured t f = t.on_configured <- Some f
 
+let causal_epoch t =
+  match t.reconfig with
+  | Some r -> Epoch.to_int64 (Reconfig.epoch r)
+  | None -> 0L
+
+(* The flight-recorder rendering of an event.  [Root_verified] reports
+   the pool's domain count, which the causal dumps must not: they are
+   byte-compared across {1,2,4} domains. *)
+let recorder_string = function
+  | Event.Root_verified { tables; _ } ->
+    Printf.sprintf "root verify: %d tables deadlock-free" tables
+  | e -> Event.to_string e
+
 (* Every event — typed or freeform, from the monitor, the reconfig
    instance or the pilot itself — funnels through here, so the metrics
    registry can count the interesting kinds in one place. *)
 let record_event t e =
   Event_log.log t.log ~now:(now t) e;
+  (match t.causal with
+  | Some cz when Causal.enabled cz ->
+    let time = now t in
+    let epoch = causal_epoch t in
+    (match e with
+    | Event.Position_adopted _ ->
+      Causal.position_known cz ~sw:t.sw ~epoch ~time
+    | Event.Skeptic_backoff { hold; _ } ->
+      Causal.skeptic_wait cz ~sw:t.sw ~time ~hold
+    | _ -> ());
+    Causal.record cz ~sw:t.sw ~time ~epoch (recorder_string e)
+  | _ -> ());
   match t.counters with
   | None -> ()
   | Some c ->
@@ -131,7 +165,19 @@ let mark t kind =
       ~tid:t.sw kind
 
 let send t ~port msg =
-  Fabric.switch_send t.fabric ~from:t.sw ~port (Messages.to_packet msg)
+  (* Reconfiguration messages carry the sideband causal context — who is
+     sending, how far from the initiator, and which fault started the
+     wave.  The sideband never reaches the wire (it is excluded from
+     encode/size/equality), so attaching it unconditionally keeps the
+     traced and untraced simulations event-identical. *)
+  let trace =
+    match Messages.epoch_of msg with
+    | Some _ ->
+      Some
+        { Packet.tr_origin = t.tr_origin; tr_parent = t.sw; tr_hop = t.tr_hop }
+    | None -> None
+  in
+  Fabric.switch_send t.fabric ~from:t.sw ~port (Messages.to_packet ?trace msg)
 
 (* --- Host ports plugged in after the last reconfiguration (paper 6.5.3:
    the local forwarding table is updated without a reconfiguration). --- *)
@@ -232,7 +278,7 @@ let host_ports_now t =
     (fun p -> Port_state.equal (port_state t ~port:p) Port_state.Host)
     (List.init (Graph.max_ports g) (fun i -> i + 1))
 
-let snapshot_and_start t ?join reason =
+let snapshot_and_start t ?join ?via reason =
   if t.is_powered then begin
     let usable = Port_monitor.good_ports (monitor_exn t) in
     t.st_reconfigs <- t.st_reconfigs + 1;
@@ -240,11 +286,38 @@ let snapshot_and_start t ?join reason =
     (match t.counters with
     | Some c -> Metrics.incr c.ct_reconfigs
     | None -> ());
+    (* Causal context for the new epoch: an initiator starts a fresh wave
+       at hop 0 traced to the latest fault; a joiner inherits origin and
+       hop from the message that carried the larger epoch. The fields
+       must be set before [start_epoch] — its position announcements
+       already carry them. *)
+    let parent, via_port =
+      match via with
+      | Some (port, Some tr) ->
+        t.tr_hop <- tr.Packet.tr_hop + 1;
+        t.tr_origin <- tr.Packet.tr_origin;
+        (tr.Packet.tr_parent, port)
+      | Some (port, None) ->
+        t.tr_hop <- 0;
+        t.tr_origin <-
+          (match t.causal with Some c -> Causal.origin_id c | None -> 0);
+        (-1, port)
+      | None ->
+        t.tr_hop <- 0;
+        t.tr_origin <-
+          (match t.causal with Some c -> Causal.origin_id c | None -> 0);
+        (-1, -1)
+    in
     record_event t (Event.Reconfig_started { reason });
     Array.fill t.host_enabled 0 (Array.length t.host_enabled) false;
     t.flood <- None;
     Reconfig.start_epoch (reconfig_exn t) ?join ~usable
-      ~host_ports:(host_ports_now t) ()
+      ~host_ports:(host_ports_now t) ();
+    match t.causal with
+    | Some c ->
+      Causal.epoch_heard c ~sw:t.sw ~epoch:(causal_epoch t) ~time:(now t)
+        ~parent ~via_port ~hop:t.tr_hop ~origin:t.tr_origin
+    | None -> ()
   end
 
 let initiate_reconfiguration t ~reason = snapshot_and_start t reason
@@ -305,9 +378,19 @@ let make_callbacks t =
             end
             | None -> ());
             ignore assignment;
+            (match t.causal with
+            | Some c ->
+              Causal.tables_loaded c ~sw:t.sw ~epoch:(causal_epoch t)
+                ~time:(now t)
+            | None -> ());
             Reconfig.note_configured (reconfig_exn t);
             (* Hosts that appeared after the epoch snapshot. *)
-            List.iter (fun q -> enable_host_port t q) (host_ports_now t)));
+            List.iter (fun q -> enable_host_port t q) (host_ports_now t);
+            (match t.causal with
+            | Some c ->
+              Causal.ports_enabled c ~sw:t.sw ~epoch:(causal_epoch t)
+                ~time:(now t)
+            | None -> ())));
     cb_configured =
       (fun () ->
         t.st_configs <- t.st_configs + 1;
@@ -326,10 +409,15 @@ let make_callbacks t =
         match t.timeline with
         | None -> ()
         | Some tl ->
-          Timeline.span tl ~time:(now t)
+          Timeline.span tl
+            ~wall:(Option.is_none t.span_clock)
+            ~time:(now t)
             ~epoch:(Epoch.to_int64 (Reconfig.epoch (reconfig_exn t)))
             ~tid:t.sw ~name
-            ~dur_ns:(int_of_float (dur_s *. 1e9))) }
+            ~dur_ns:(int_of_float (dur_s *. 1e9))
+            ());
+    cb_clock =
+      (match t.span_clock with Some f -> f | None -> Unix.gettimeofday) }
 
 (* --- Lifecycle --- *)
 
@@ -513,7 +601,9 @@ let on_receive t ~port packet =
           match Reconfig.handle_message (reconfig_exn t) ~port msg with
           | `Handled | `Ignored -> ()
           | `Join_epoch e ->
-            snapshot_and_start t ~join:e "joining larger epoch";
+            snapshot_and_start t ~join:e
+              ~via:(port, packet.Packet.trace)
+              "joining larger epoch";
             (match Reconfig.handle_message (reconfig_exn t) ~port msg with
             | `Handled | `Ignored -> ()
             | `Join_epoch _ -> assert false)
@@ -540,7 +630,8 @@ let on_transition t (tr : Port_monitor.transition) =
 
 (* --- Lifecycle --- *)
 
-let create ~fabric ~switch ?(clock_skew = Time.zero) ?metrics ?timeline () =
+let create ~fabric ~switch ?(clock_skew = Time.zero) ?metrics ?timeline ?causal
+    ?span_clock () =
   let g = Fabric.graph fabric in
   let counters =
     Option.map
@@ -567,6 +658,10 @@ let create ~fabric ~switch ?(clock_skew = Time.zero) ?metrics ?timeline () =
       log = Event_log.create ~clock_skew ();
       counters;
       timeline;
+      causal;
+      span_clock;
+      tr_hop = 0;
+      tr_origin = 0;
       monitor = None;
       reconfig = None;
       is_powered = false;

@@ -21,13 +21,19 @@ val create :
   ?clock_skew:Autonet_sim.Time.t ->
   ?metrics:Autonet_telemetry.Metrics.t ->
   ?timeline:Autonet_telemetry.Timeline.t ->
+  ?causal:Autonet_telemetry.Causal.t ->
+  ?span_clock:(unit -> float) ->
   unit ->
   t
 (** Builds the instance and registers its receive handler with the fabric;
     call {!start} to boot it.  [metrics] (shared by all of a network's
     pilots) adds counters to the receive and event paths; [timeline]
-    records reconfiguration phase marks.  Omitting them compiles the
-    instrumentation out of this pilot entirely. *)
+    records reconfiguration phase marks; [causal] (also shared) records
+    per-switch sim-time milestones, the epoch propagation parentage and
+    the flight recorder.  Omitting them compiles the instrumentation out
+    of this pilot entirely.  [span_clock] replaces the wall clock the
+    delta compute spans are measured on — inject a deterministic tick
+    and the span durations become byte-identical across runs. *)
 
 val start : t -> unit
 (** Power-on: all ports in s.dead, epoch zero, begin monitoring. *)

@@ -307,8 +307,8 @@ let decode s =
   R.expect_end r;
   msg
 
-let to_packet msg =
-  Packet.make
+let to_packet ?trace msg =
+  Packet.make ?trace
     ~dst:(Short_address.one_hop ~port:1)
     ~src:Short_address.local_switch ~typ:(packet_type msg) ~body:(encode msg)
     ()

@@ -76,10 +76,12 @@ val encode : t -> string
 val decode : string -> t
 (** Raises {!Wire.Malformed} or {!Wire.Truncated} on bad input. *)
 
-val to_packet : t -> Packet.t
+val to_packet : ?trace:Packet.trace -> t -> Packet.t
 (** Wrap as a one-hop Autonet packet (control protocols address hop by
     hop; the fabric routes by port, the addresses are for fidelity of
-    size and of the header format). *)
+    size and of the header format).  [trace] is the sideband causal
+    context — attached to reconfiguration messages when causal tracing
+    is wired up; it never affects the wire encoding. *)
 
 val of_packet : Packet.t -> t
 

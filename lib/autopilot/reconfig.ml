@@ -10,6 +10,9 @@ type callbacks = {
   cb_log : Event.t -> unit;
   cb_mark : Autonet_telemetry.Timeline.kind -> unit;
   cb_span : name:string -> dur_s:float -> unit;
+  cb_clock : unit -> float;
+      (* the clock the compute spans are measured on: wall clock for the
+         benches, an injected deterministic tick for smoke runs *)
 }
 
 (* What we last told the parent about our subtree. *)
@@ -182,17 +185,18 @@ let finish_configuration t report =
           match t.committed with
           | None -> None
           | Some prev ->
-            let c0 = Unix.gettimeofday () in
+            let clock = t.callbacks.cb_clock in
+            let c0 = clock () in
             let cls = Delta.classify ~prev ~graph:g ~tree ~assignment ~me in
-            span "delta_classify" (Unix.gettimeofday () -. c0);
+            span "delta_classify" (clock () -. c0);
             (match cls with
             | Delta.Structural reason ->
               event t (Event.Delta_fallback { reason });
               None
             | Delta.Tree_preserving ch ->
               Some
-                (Delta.apply ?pool ~clock:Unix.gettimeofday ~on_span:span
-                   ~prev ~graph:g ~tree ~assignment ~me ch))
+                (Delta.apply ?pool ~clock ~on_span:span ~prev ~graph:g ~tree
+                   ~assignment ~me ch))
       in
       (match delta with
       | Some (committed', stats) ->

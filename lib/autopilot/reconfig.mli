@@ -39,10 +39,14 @@ type callbacks = {
           [Reports_closed], [Load_begin], [Configured]); the owner stamps
           time, epoch and switch id *)
   cb_span : name:string -> dur_s:float -> unit;
-      (** wall-clock compute sub-phases of the delta fast path
-          ([delta_classify], [delta_routes], [delta_tables],
-          [delta_deadlock]); the owner stamps sim time, epoch and switch
-          id *)
+      (** compute sub-phases of the delta fast path ([delta_classify],
+          [delta_routes], [delta_tables], [delta_deadlock]), measured on
+          {!cb_clock}; the owner stamps sim time, epoch and switch id *)
+  cb_clock : unit -> float;
+      (** the clock the compute spans read — [Unix.gettimeofday] for the
+          benches, or an injected deterministic tick so the spans (and
+          hence the telemetry smoke output) are byte-identical across
+          runs and domain counts *)
 }
 
 type t

@@ -7,6 +7,7 @@ module Time = Autonet_sim.Time
 module B = Builders
 module Metrics = Autonet_telemetry.Metrics
 module Timeline = Autonet_telemetry.Timeline
+module Causal = Autonet_telemetry.Causal
 
 type config = {
   topo : string;
@@ -183,6 +184,7 @@ type artifact = {
   a_log : (Time.t * string * string) list;
   a_metrics : Metrics.snapshot;
   a_timeline : Timeline.t;
+  a_recorders : (int * Causal.recorder_entry list) list;
 }
 
 let investigate ?hook ?(log_tail = 200) config ~seed ~index =
@@ -216,7 +218,11 @@ let investigate ?hook ?(log_tail = 200) config ~seed ~index =
     a_timeline =
       (match N.timeline net with
       | Some tl -> tl
-      | None -> Timeline.create ()) }
+      | None -> Timeline.create ());
+    a_recorders =
+      (match N.causal net with
+      | Some cz -> Causal.recorders cz
+      | None -> []) }
 
 let pp_artifact ppf a =
   Format.fprintf ppf "@[<v>reproducer: topo=%s seed=0x%016Lx (campaign index %d)@,"
@@ -238,6 +244,18 @@ let pp_artifact ppf a =
     (Format.pp_print_list (fun ppf (ts, who, msg) ->
          Format.fprintf ppf "%a %s: %s" Time.pp ts who msg))
     a.a_log;
+  (* Flight recorders are the post-mortem view: dump them only when the
+     shrunk replay still violates the oracle. *)
+  if a.a_shrunk_violations <> [] then
+    List.iter
+      (fun (sw, entries) ->
+        Format.fprintf ppf "flight recorder s%d (last %d events):@,  @[<v>%a@]@,"
+          sw (List.length entries)
+          (Format.pp_print_list (fun ppf e ->
+               Format.fprintf ppf "%a e%Ld %s" Time.pp e.Causal.fr_time
+                 e.Causal.fr_epoch e.Causal.fr_msg))
+          entries)
+      a.a_recorders;
   let metric_lines =
     String.split_on_char '\n' (String.trim (Metrics.render a.a_metrics))
   in

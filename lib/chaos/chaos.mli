@@ -120,6 +120,10 @@ type artifact = {
   a_timeline : Autonet_telemetry.Timeline.t;
       (** reconfiguration phase timeline of the same run, exportable with
           {!Autonet_telemetry.Timeline.to_trace_json} *)
+  a_recorders : (int * Autonet_telemetry.Causal.recorder_entry list) list;
+      (** per-switch flight recorders of the same run — each switch's
+          last autopilot events, oldest first ({!pp_artifact} prints
+          them only when the shrunk replay still violates the oracle) *)
 }
 
 val investigate :
@@ -132,4 +136,5 @@ val investigate :
 
 val pp_artifact : Format.formatter -> artifact -> unit
 (** The full reproducer: topology spec, seed, original and shrunk
-    schedules, violations, merged event log, telemetry snapshot. *)
+    schedules, violations, merged event log, per-switch flight
+    recorders (failing replays only), telemetry snapshot. *)

@@ -24,21 +24,24 @@ let pp_typ ppf t =
   | Connectivity -> Format.pp_print_string ppf "connectivity"
   | Other n -> Format.fprintf ppf "other(%d)" n
 
+type trace = { tr_origin : int; tr_parent : int; tr_hop : int }
+
 type t = {
   dst : Short_address.t;
   src : Short_address.t;
   typ : typ;
   enc_info : string;
   body : string;
+  trace : trace option;
 }
 
 let encryption_info_bytes = 26
 let cleartext_info = String.make encryption_info_bytes '\000'
 
-let make ?(enc_info = cleartext_info) ~dst ~src ~typ ~body () =
+let make ?(enc_info = cleartext_info) ?trace ~dst ~src ~typ ~body () =
   if String.length enc_info <> encryption_info_bytes then
     invalid_arg "Packet.make: encryption info must be 26 bytes";
-  { dst; src; typ; enc_info; body }
+  { dst; src; typ; enc_info; body; trace }
 
 let is_encrypted t = not (String.equal t.enc_info cleartext_info)
 
@@ -91,7 +94,7 @@ let decode s =
     Crc32.string (String.sub s 0 (total - trailer_bytes))
   in
   let ok = crc_stored = Int32.to_int crc_computed land 0xFFFF_FFFF in
-  ({ dst; src; typ; enc_info; body }, ok)
+  ({ dst; src; typ; enc_info; body; trace = None }, ok)
 
 let equal a b =
   Short_address.equal a.dst b.dst

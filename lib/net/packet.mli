@@ -19,6 +19,17 @@ val typ_of_int : int -> typ
 val equal_typ : typ -> typ -> bool
 val pp_typ : Format.formatter -> typ -> unit
 
+type trace = {
+  tr_origin : int;  (** originating fault id (0: boot) *)
+  tr_parent : int;  (** the sending switch *)
+  tr_hop : int;  (** the sender's hop count from the epoch initiator *)
+}
+(** Causal trace context for reconfiguration messages.  This is a
+    simulator-only sideband: it never reaches the wire — {!encode},
+    {!decode}, {!wire_size} and {!equal} all ignore it — so attaching
+    it perturbs neither timing nor behaviour, and a decoded packet
+    always carries [None]. *)
+
 type t = {
   dst : Short_address.t;
   src : Short_address.t;
@@ -28,14 +39,16 @@ type t = {
           for cleartext; the receiving controller reads it to decide
           whether and how to decrypt *)
   body : string;
+  trace : trace option;  (** sideband causal context; not wire data *)
 }
 
 val make :
   ?enc_info:string ->
+  ?trace:trace ->
   dst:Short_address.t -> src:Short_address.t -> typ:typ -> body:string ->
   unit -> t
 (** [enc_info] defaults to cleartext (all zeroes); it must be exactly
-    {!encryption_info_bytes} long. *)
+    {!encryption_info_bytes} long.  [trace] defaults to [None]. *)
 
 val encryption_info_bytes : int
 (** 26. *)

@@ -1,0 +1,147 @@
+(** Causal reconfiguration tracing.
+
+    Where {!Timeline} observes an epoch as one global pipeline, this
+    store answers the per-switch questions: which switch learned the
+    epoch from which neighbour, at what simulated time, and where the
+    heal latency went.  Autopilot reconfiguration messages carry a
+    sideband trace context (origin fault, sending switch, hop count —
+    see {!Autonet_net.Packet.trace}); every switch records four
+    sim-time milestones per epoch (epoch heard, tree position known,
+    tables loaded, host ports enabled) plus the skeptic hold-downs that
+    delayed it, and the store reconstructs the epoch propagation forest
+    — wave-front depth over time, per-hop latency percentiles, the
+    slowest-path critical chain and per-switch heal latency.
+
+    Every timestamp is simulated time, so all derived output is
+    byte-identical however many domains the table-synthesis pool uses.
+
+    The store also keeps one bounded flight recorder per switch — a
+    ring buffer of recently logged events, pre-rendered to strings (the
+    telemetry layer sits below the autopilot and cannot see its event
+    type) — dumped into chaos reproducer artifacts on oracle
+    violations. *)
+
+module Time = Autonet_sim.Time
+
+type t
+
+val create : ?enabled:bool -> ?recorder_capacity:int -> switches:int -> unit -> t
+(** [create ~switches ()] sizes the per-switch tables for switch ids
+    [0 .. switches-1].  Disabled by default, like {!Metrics.create}: a
+    disabled store accepts every call as a cheap no-op so the enabled
+    and disabled simulations stay event-identical.
+    [recorder_capacity] bounds each flight recorder (default 64). *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+(** {1 Recording} *)
+
+val note_fault : t -> time:Time.t -> label:string -> unit
+(** Register an injected fault as a wave origin.  Origins are numbered
+    from 1 in injection order; epochs started before any fault (boot
+    waves) carry origin 0. *)
+
+val origin_id : t -> int
+(** The id of the most recent fault, or 0 if none was recorded. *)
+
+val epoch_heard :
+  t ->
+  sw:int ->
+  epoch:int64 ->
+  time:Time.t ->
+  parent:int ->
+  via_port:int ->
+  hop:int ->
+  origin:int ->
+  unit
+(** [sw] entered [epoch] at sim time [time]: as an initiator
+    ([parent = -1], [hop = 0]) or by joining via the message that
+    arrived on [via_port] from [parent] ([hop] = sender's hop + 1).
+    Re-entering the same epoch (a reboot) replaces the record. *)
+
+val position_known : t -> sw:int -> epoch:int64 -> time:Time.t -> unit
+(** The switch adopted a (new) tree position; the last call per epoch
+    wins — the milestone is the {e final} position.  A switch that
+    stays root never calls this; its position time is its heard time. *)
+
+val tables_loaded : t -> sw:int -> epoch:int64 -> time:Time.t -> unit
+val ports_enabled : t -> sw:int -> epoch:int64 -> time:Time.t -> unit
+
+val skeptic_wait : t -> sw:int -> time:Time.t -> hold:Time.t -> unit
+(** A skeptic hold-down of [hold] began on [sw] at [time].
+    Reconstruction attributes to each wave node the holds that started
+    between the wave's origin fault and the node hearing the epoch. *)
+
+(** {1 Flight recorders} *)
+
+val record : t -> sw:int -> time:Time.t -> epoch:int64 -> string -> unit
+(** Append a pre-rendered event to [sw]'s ring; check {!enabled} first
+    if rendering the string is not free. *)
+
+type recorder_entry = { fr_time : Time.t; fr_epoch : int64; fr_msg : string }
+
+val recorders : t -> (int * recorder_entry list) list
+(** Non-empty recorders, ascending by switch; entries oldest-first. *)
+
+(** {1 Reconstruction} *)
+
+type node = {
+  n_switch : int;
+  n_parent : int;  (** switch id, or -1 for a wave root *)
+  n_via_port : int;  (** arrival port of the joining message, or -1 *)
+  n_hop : int;
+  n_origin : int;  (** origin fault id, 0 for boot *)
+  n_heard : Time.t;
+  n_position : Time.t;  (** final tree position; heard time if never adopted *)
+  n_loaded : Time.t option;
+  n_enabled : Time.t option;
+  n_hop_ns : int option;  (** heard - parent's heard, when the parent is in the wave *)
+  n_heal_ns : int option;  (** enabled - origin fault time (wave start for boot) *)
+  n_skeptic_ns : int;  (** attributed skeptic hold-down total *)
+}
+
+type dist = { d_count : int; d_p50 : int; d_p90 : int; d_max : int }
+(** Nearest-rank percentiles over a latency population, in ns. *)
+
+type wave = {
+  w_epoch : int64;
+  w_origin : int;
+  w_origin_label : string;  (** ["boot"] for origin 0 *)
+  w_origin_time : Time.t;  (** fault injection time; wave start for boot *)
+  w_start : Time.t;  (** earliest heard *)
+  w_end : Time.t;  (** latest milestone *)
+  w_complete : bool;  (** every node reached ports-enabled *)
+  w_nodes : node list;  (** ascending by switch; one entry per switch *)
+  w_depth : int;  (** max hop *)
+  w_fanout : int;  (** max direct children of any node *)
+  w_critical : int list;  (** switch chain, root first, to the slowest node *)
+  w_hop : dist option;  (** per-hop propagation latency *)
+  w_heal : dist option;  (** per-switch heal latency *)
+  w_front : (Time.t * int * int) list;
+      (** wave front over time: (heard time, hop, switches heard so far),
+          one entry per node in heard order *)
+}
+
+val waves : t -> wave list
+(** Ascending by epoch. *)
+
+val last_complete : t -> wave option
+
+val validate_wave : wave -> (unit, string) result
+(** Structural soundness: roots have hop 0; every non-root's parent is
+    in the wave, one hop above, and heard the epoch no later. *)
+
+(** {1 Rendering} *)
+
+val pp_wave : Format.formatter -> wave -> unit
+(** Wave summary plus the propagation forest as an indented tree. *)
+
+val to_json : t -> Json.t
+(** Waves and flight recorders, deterministically ordered. *)
+
+val to_trace_json : t -> Json.t
+(** Chrome [trace_event] export with one track per switch: each wave
+    node becomes [tree]/[tables]/[enable] spans on the switch's own
+    tid, complementing the global per-epoch track of
+    {!Timeline.to_trace_json}. *)

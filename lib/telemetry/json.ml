@@ -179,6 +179,9 @@ let parse s =
         let rec members acc =
           skip_ws ();
           let k = parse_string () in
+          (* Strict: a duplicate key is a bug in the emitter, not a
+             last-wins shrug — our own emitter never produces one. *)
+          if List.mem_assoc k acc then fail (Printf.sprintf "duplicate key %S" k);
           skip_ws ();
           expect ':';
           let v = parse_value () in

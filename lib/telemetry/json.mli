@@ -24,7 +24,8 @@ val parse : string -> (t, string) result
 (** Strict parser for the subset {!to_string} emits (which is all of
     JSON except exponents with huge magnitudes and [\u] surrogate
     pairs, kept as-is in the decoded string).  Numbers without [.], [e]
-    or [E] decode as [Int].  The error string carries a byte offset. *)
+    or [E] decode as [Int].  Duplicate object keys are rejected rather
+    than silently last-wins.  The error string carries a byte offset. *)
 
 (** {1 Accessors} (total: all return [None]/[[]] on shape mismatch) *)
 

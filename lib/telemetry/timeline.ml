@@ -29,6 +29,7 @@ type span = {
   sp_tid : int;
   sp_name : string;
   sp_dur_ns : int;
+  sp_wall : bool;
 }
 
 type t = {
@@ -51,11 +52,11 @@ let mark t ~time ~epoch ~tid kind =
 
 let marks t = List.rev t.rev_marks
 
-let span t ~time ~epoch ~tid ~name ~dur_ns =
+let span t ?(wall = true) ~time ~epoch ~tid ~name ~dur_ns () =
   if !(t.on) then
     t.rev_spans <-
       { sp_time = time; sp_epoch = epoch; sp_tid = tid; sp_name = name;
-        sp_dur_ns = dur_ns }
+        sp_dur_ns = dur_ns; sp_wall = wall }
       :: t.rev_spans
 
 let spans t = List.rev t.rev_spans
@@ -246,8 +247,8 @@ let phase_report t =
 let span_report t =
   let module Report = Autonet_analysis.Report in
   let r =
-    Report.create ~title:"Compute spans (wall clock)"
-      ~columns:[ "epoch"; "switch"; "span"; "wall" ]
+    Report.create ~title:"Compute spans"
+      ~columns:[ "epoch"; "switch"; "span"; "dur"; "clock" ]
   in
   List.iter
     (fun sp ->
@@ -255,7 +256,8 @@ let span_report t =
         [ Int64.to_string sp.sp_epoch;
           (if sp.sp_tid < 0 then "-" else string_of_int sp.sp_tid);
           sp.sp_name;
-          Report.cell_time_us sp.sp_dur_ns ])
+          Report.cell_time_us sp.sp_dur_ns;
+          (if sp.sp_wall then "wall" else "injected") ])
     (spans t);
   r
 
@@ -323,7 +325,7 @@ let to_trace_json t =
                 [ ("epoch", Json.Int (Int64.to_int sp.sp_epoch));
                   ("ns_start", Json.Int sp.sp_time);
                   ("ns_dur", Json.Int sp.sp_dur_ns);
-                  ("wall_clock", Json.Bool true) ]) ]))
+                  ("wall_clock", Json.Bool sp.sp_wall) ]) ]))
     (spans t);
   List.iter
     (fun m ->

@@ -51,24 +51,30 @@ val marks : t -> mark list
 
 (** {1 Compute spans}
 
-    A span records the wall-clock duration of a compute step (the delta
-    path's [delta_classify], [delta_routes], [delta_tables],
-    [delta_deadlock]) anchored at the sim time it ran at.  Spans are
-    free-floating: they are not part of the contiguous phase derivation
-    and {!validate_trace} ignores them. *)
+    A span records the duration of a compute step (the delta path's
+    [delta_classify], [delta_routes], [delta_tables], [delta_deadlock])
+    anchored at the sim time it ran at.  The duration is measured on
+    whatever clock the recorder injected: the wall clock for the
+    benches ([sp_wall = true]), or a deterministic tick for the smoke
+    runs, whose spans must be byte-identical across runs and domain
+    counts.  Spans are free-floating: they are not part of the
+    contiguous phase derivation and {!validate_trace} ignores them. *)
 
 type span = {
   sp_time : Autonet_sim.Time.t;  (** sim-time anchor *)
   sp_epoch : int64;
   sp_tid : int;  (** switch number, or [-1] for network-level spans *)
   sp_name : string;
-  sp_dur_ns : int;  (** wall-clock duration *)
+  sp_dur_ns : int;
+  sp_wall : bool;  (** measured on the wall clock (vs an injected one) *)
 }
 
 val span :
   t ->
+  ?wall:bool ->
   time:Autonet_sim.Time.t ->
-  epoch:int64 -> tid:int -> name:string -> dur_ns:int -> unit
+  epoch:int64 -> tid:int -> name:string -> dur_ns:int -> unit -> unit
+(** [wall] defaults to [true]. *)
 
 val spans : t -> span list
 (** In the order recorded. *)

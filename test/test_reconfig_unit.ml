@@ -63,7 +63,8 @@ let make_net topo =
                    n.configured_count <- n.configured_count + 1);
                cb_log = (fun _ -> ());
                cb_mark = (fun _ -> ());
-               cb_span = (fun ~name:_ ~dur_s:_ -> ()) }
+               cb_span = (fun ~name:_ ~dur_s:_ -> ());
+               cb_clock = (fun () -> 0.) }
            in
            { switch = s;
              rc = Reconfig.create ~fabric ~switch:s ~uid:(Graph.uid g s) ~callbacks ();

@@ -8,6 +8,7 @@ module B = Autonet_topo.Builders
 module Pool = Autonet_parallel.Pool
 module Metrics = Autonet_telemetry.Metrics
 module Timeline = Autonet_telemetry.Timeline
+module Causal = Autonet_telemetry.Causal
 module Json = Autonet_telemetry.Json
 module Time = Autonet_sim.Time
 
@@ -130,6 +131,37 @@ let test_metrics_merge () =
     Alcotest.fail "kind mismatch merged"
   with Invalid_argument _ -> ()
 
+let test_histogram_merge_zero_width () =
+  (* Degenerate population: every observation across both registries
+     equals the single bound, so everything must land in bucket 0 (the
+     zero-width [<= bound] bucket) and nothing may leak to overflow. *)
+  let mk v n =
+    let m = Metrics.create ~enabled:true () in
+    let h = Metrics.histogram m "h" ~bounds:[| 7 |] in
+    for _ = 1 to n do
+      Metrics.observe h v
+    done;
+    m
+  in
+  let merged =
+    Metrics.merge [ Metrics.snapshot (mk 7 3); Metrics.snapshot (mk 7 5) ]
+  in
+  (match Metrics.find merged "h" with
+  | Some (Metrics.Histogram { bounds; counts; sum; count }) ->
+    check_int "one bound" 1 (Array.length bounds);
+    check_int "all in bucket 0" 8 counts.(0);
+    check_int "overflow empty" 0 counts.(1);
+    check_int "sum" 56 sum;
+    check_int "count" 8 count
+  | _ -> Alcotest.fail "h missing");
+  (* Same name, different bounds: the merge must refuse, not resample. *)
+  let m3 = Metrics.create ~enabled:true () in
+  ignore (Metrics.histogram m3 "h" ~bounds:[| 8 |]);
+  try
+    ignore (Metrics.merge [ Metrics.snapshot (mk 7 1); Metrics.snapshot m3 ]);
+    Alcotest.fail "bounds mismatch merged"
+  with Invalid_argument _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* JSON codec *)
 
@@ -159,6 +191,76 @@ let test_json_errors () =
       | Ok _ -> Alcotest.fail (Printf.sprintf "%S parsed" s))
     [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "[1] trailing";
       "{\"a\" 1}" ]
+
+let test_json_duplicate_keys () =
+  (* Our emitter never writes the same key twice, so a duplicate is an
+     emitter bug the strict parser must surface — not last-wins. *)
+  (match Json.parse "{\"a\":1,\"a\":2}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate key parsed");
+  (match Json.parse "{\"a\":{\"x\":1,\"x\":1}}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nested duplicate key parsed");
+  (* Same key in sibling objects is fine. *)
+  match Json.parse "[{\"a\":1},{\"a\":2}]" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("sibling keys rejected: " ^ e)
+
+(* A sized generator of emittable trees: finite floats only (a
+   non-finite float renders as [null], which can never round-trip) and
+   distinct keys per object (the strict parser rejects duplicates). *)
+let json_gen : Json.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let finite_float =
+    map2
+      (fun m e -> float_of_int m *. (10. ** float_of_int e))
+      (int_range (-1_000_000) 1_000_000)
+      (int_range (-3) 3)
+  in
+  let key = string_size ~gen:(map Char.chr (int_range 97 122)) (int_range 1 6) in
+  let scalar =
+    oneof
+      [ return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.Float f) finite_float;
+        map (fun s -> Json.String s) (small_string ~gen:printable) ]
+  in
+  sized
+    (fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [ (2, scalar);
+               ( 1,
+                 map
+                   (fun xs -> Json.List xs)
+                   (list_size (int_range 0 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun kvs ->
+                     let seen = Hashtbl.create 8 in
+                     Json.Obj
+                       (List.filter
+                          (fun (k, _) ->
+                            if Hashtbl.mem seen k then false
+                            else begin
+                              Hashtbl.add seen k ();
+                              true
+                            end)
+                          kvs))
+                   (list_size (int_range 0 4) (pair key (self (n / 2)))) ) ]))
+
+(* The codec's round-trip property: whatever tree we emit, parsing the
+   rendering yields the same tree — ints stay ints, finite floats
+   re-read exactly (%.17g), strings survive escaping, member order is
+   preserved. *)
+let json_roundtrip_qcheck =
+  QCheck.Test.make ~name:"emit -> parse round-trips any emittable tree"
+    ~count:200 (QCheck.make json_gen) (fun t ->
+      match Json.parse (Json.to_string t) with
+      | Ok t' -> t = t'
+      | Error _ -> false)
 
 let test_json_accessors () =
   match Json.parse "{\"a\": [1, 2.5, \"x\"], \"b\": {\"c\": 3}}" with
@@ -287,6 +389,128 @@ let test_timeline_validate_rejects_tampering () =
   | _ -> Alcotest.fail "trace is not an object"
 
 (* ------------------------------------------------------------------ *)
+(* Causal trace store: milestones -> wave reconstruction *)
+
+let test_causal_disabled_records_nothing () =
+  let cz = Causal.create ~switches:4 () in
+  Causal.epoch_heard cz ~sw:0 ~epoch:1L ~time:Time.zero ~parent:(-1)
+    ~via_port:(-1) ~hop:0 ~origin:0;
+  Causal.record cz ~sw:0 ~time:Time.zero ~epoch:1L "ev";
+  check_int "no waves" 0 (List.length (Causal.waves cz));
+  check_int "no recorders" 0 (List.length (Causal.recorders cz))
+
+let test_causal_wave_reconstruction () =
+  let cz = Causal.create ~enabled:true ~switches:3 () in
+  Causal.note_fault cz ~time:(Time.us 50) ~label:"link_down:0";
+  check_int "origin numbered from 1" 1 (Causal.origin_id cz);
+  (* A three-switch chain: 0 initiates, 1 joins via 0, 2 joins via 1. *)
+  Causal.epoch_heard cz ~sw:0 ~epoch:5L ~time:(Time.us 100) ~parent:(-1)
+    ~via_port:(-1) ~hop:0 ~origin:1;
+  Causal.epoch_heard cz ~sw:1 ~epoch:5L ~time:(Time.us 120) ~parent:0
+    ~via_port:2 ~hop:1 ~origin:1;
+  Causal.epoch_heard cz ~sw:2 ~epoch:5L ~time:(Time.us 150) ~parent:1
+    ~via_port:3 ~hop:2 ~origin:1;
+  Causal.skeptic_wait cz ~sw:1 ~time:(Time.us 110) ~hold:(Time.us 30);
+  List.iter
+    (fun sw ->
+      Causal.position_known cz ~sw ~epoch:5L ~time:(Time.us 200);
+      Causal.tables_loaded cz ~sw ~epoch:5L ~time:(Time.us 300);
+      Causal.ports_enabled cz ~sw ~epoch:5L ~time:(Time.us (300 + (10 * sw))))
+    [ 0; 1; 2 ];
+  match Causal.waves cz with
+  | [ w ] ->
+    check_bool "complete" true w.Causal.w_complete;
+    check_bool "validates" true (Causal.validate_wave w = Ok ());
+    check_int "nodes" 3 (List.length w.Causal.w_nodes);
+    check_int "depth" 2 w.Causal.w_depth;
+    check_int "fanout" 1 w.Causal.w_fanout;
+    check_int "starts at first heard" (Time.us 100) w.Causal.w_start;
+    check_int "ends at last enabled" (Time.us 320) w.Causal.w_end;
+    check_string "origin label" "link_down:0" w.Causal.w_origin_label;
+    Alcotest.(check (list int))
+      "critical chain root-first to the slowest node" [ 0; 1; 2 ]
+      w.Causal.w_critical;
+    let n1 = List.nth w.Causal.w_nodes 1 in
+    check_int "hop latency" (Time.us 20) (Option.get n1.Causal.n_hop_ns);
+    check_int "heal latency = enabled - fault" (Time.us 260)
+      (Option.get n1.Causal.n_heal_ns);
+    check_int "skeptic hold attributed" (Time.us 30) n1.Causal.n_skeptic_ns;
+    check_int "no hold elsewhere" 0
+      (List.nth w.Causal.w_nodes 0).Causal.n_skeptic_ns;
+    (match w.Causal.w_hop with
+    | Some d ->
+      check_int "two hop samples" 2 d.Causal.d_count;
+      check_int "hop max" (Time.us 30) d.Causal.d_max
+    | None -> Alcotest.fail "no hop distribution");
+    check_int "front covers every node" 3 (List.length w.Causal.w_front)
+  | ws -> Alcotest.fail (Printf.sprintf "expected 1 wave, got %d" (List.length ws))
+
+let test_causal_reboot_overwrites () =
+  (* Re-hearing the same epoch (a reboot mid-wave) replaces the node
+     record: last wins. *)
+  let cz = Causal.create ~enabled:true ~switches:2 () in
+  Causal.epoch_heard cz ~sw:0 ~epoch:1L ~time:(Time.us 10) ~parent:(-1)
+    ~via_port:(-1) ~hop:0 ~origin:0;
+  Causal.epoch_heard cz ~sw:1 ~epoch:1L ~time:(Time.us 20) ~parent:0
+    ~via_port:1 ~hop:1 ~origin:0;
+  Causal.epoch_heard cz ~sw:1 ~epoch:1L ~time:(Time.us 40) ~parent:0
+    ~via_port:2 ~hop:1 ~origin:0;
+  match Causal.waves cz with
+  | [ w ] ->
+    check_int "still one node per switch" 2 (List.length w.Causal.w_nodes);
+    let n1 = List.nth w.Causal.w_nodes 1 in
+    check_int "latest heard wins" (Time.us 40) n1.Causal.n_heard;
+    check_int "latest port wins" 2 n1.Causal.n_via_port
+  | _ -> Alcotest.fail "expected one wave"
+
+let test_causal_validate_rejects_broken_parent () =
+  let cz = Causal.create ~enabled:true ~switches:4 () in
+  Causal.epoch_heard cz ~sw:0 ~epoch:1L ~time:(Time.us 10) ~parent:(-1)
+    ~via_port:(-1) ~hop:0 ~origin:0;
+  Causal.epoch_heard cz ~sw:1 ~epoch:1L ~time:(Time.us 20) ~parent:3
+    ~via_port:1 ~hop:1 ~origin:0;
+  match Causal.waves cz with
+  | [ w ] -> (
+    match Causal.validate_wave w with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "validated a node whose parent is not in the wave")
+  | _ -> Alcotest.fail "expected one wave"
+
+let test_causal_recorder_ring () =
+  let cz = Causal.create ~enabled:true ~recorder_capacity:4 ~switches:2 () in
+  for i = 1 to 10 do
+    Causal.record cz ~sw:1 ~time:(Time.us i) ~epoch:1L
+      (Printf.sprintf "ev%d" i)
+  done;
+  match Causal.recorders cz with
+  | [ (1, entries) ] ->
+    check_int "ring bounded at capacity" 4 (List.length entries);
+    Alcotest.(check (list string))
+      "keeps the newest, oldest first"
+      [ "ev7"; "ev8"; "ev9"; "ev10" ]
+      (List.map (fun e -> e.Causal.fr_msg) entries)
+  | _ -> Alcotest.fail "expected exactly one non-empty recorder"
+
+let test_causal_json_parses () =
+  let cz = Causal.create ~enabled:true ~switches:2 () in
+  Causal.epoch_heard cz ~sw:0 ~epoch:1L ~time:(Time.us 10) ~parent:(-1)
+    ~via_port:(-1) ~hop:0 ~origin:0;
+  Causal.epoch_heard cz ~sw:1 ~epoch:1L ~time:(Time.us 20) ~parent:0
+    ~via_port:1 ~hop:1 ~origin:0;
+  List.iter
+    (fun sw ->
+      Causal.tables_loaded cz ~sw ~epoch:1L ~time:(Time.us 30);
+      Causal.ports_enabled cz ~sw ~epoch:1L ~time:(Time.us 40))
+    [ 0; 1 ];
+  Causal.record cz ~sw:0 ~time:(Time.us 5) ~epoch:1L "boot";
+  List.iter
+    (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("causal JSON does not parse: " ^ e))
+    [ Causal.to_json cz; Causal.to_trace_json cz ]
+
+(* ------------------------------------------------------------------ *)
 (* Pool metric determinism across domain counts *)
 
 let pooled_snapshot ~domains (t : B.t) =
@@ -370,12 +594,29 @@ let () =
             test_metrics_snapshot_sorted_and_stable;
           Alcotest.test_case "kind clash" `Quick test_metrics_kind_clash;
           Alcotest.test_case "merge" `Quick test_metrics_merge;
+          Alcotest.test_case "zero-width bucket merge" `Quick
+            test_histogram_merge_zero_width;
           Alcotest.test_case "to_json parses" `Quick
             test_metrics_to_json_parses ] );
       ( "json",
         [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "duplicate keys rejected" `Quick
+            test_json_duplicate_keys;
+          QCheck_alcotest.to_alcotest json_roundtrip_qcheck;
           Alcotest.test_case "accessors" `Quick test_json_accessors ] );
+      ( "causal",
+        [ Alcotest.test_case "disabled records nothing" `Quick
+            test_causal_disabled_records_nothing;
+          Alcotest.test_case "wave reconstruction" `Quick
+            test_causal_wave_reconstruction;
+          Alcotest.test_case "reboot overwrites" `Quick
+            test_causal_reboot_overwrites;
+          Alcotest.test_case "validation rejects broken parent" `Quick
+            test_causal_validate_rejects_broken_parent;
+          Alcotest.test_case "recorder ring wraps" `Quick
+            test_causal_recorder_ring;
+          Alcotest.test_case "JSON parses" `Quick test_causal_json_parses ] );
       ( "timeline",
         [ Alcotest.test_case "disabled records nothing" `Quick
             test_timeline_disabled_records_nothing;
